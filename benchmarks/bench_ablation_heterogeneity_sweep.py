@@ -1,0 +1,39 @@
+"""Ablation: how the heuristic spread grows with platform heterogeneity.
+
+An extension beyond the published figures (the paper measures two points:
+homogeneous and "the testbed"): sweep the max/min spread of the platform
+parameters and track the gap between the best and the worst of the seven
+heuristics.  The paper's thesis — heterogeneity is what makes the on-line
+problem hard — predicts a non-decreasing curve.
+
+Run with:  pytest benchmarks/bench_ablation_heterogeneity_sweep.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.sweep import run_heterogeneity_sweep
+
+SWEEP_KWARGS = dict(
+    factors=(1.0, 4.0, 16.0),
+    n_workers=5,
+    n_tasks=200,
+    n_platforms=3,
+    rng=2006,
+)
+
+
+@pytest.mark.parametrize("dimension", ["communication", "computation", "both"])
+def test_heterogeneity_sweep(benchmark, dimension):
+    sweep = benchmark.pedantic(
+        run_heterogeneity_sweep, kwargs=dict(dimension=dimension, **SWEEP_KWARGS),
+        rounds=1, iterations=1,
+    )
+    curve = sweep.spread_curve("makespan")
+    # The spread at the most heterogeneous point is at least the spread at the
+    # homogeneous point (heterogeneity does not make the heuristics agree more).
+    assert curve[-1][1] >= curve[0][1] - 0.02
+    # And the homogeneous point shows the Figure 1(a) picture: everything
+    # within a few percent of everything else.
+    assert curve[0][1] < 0.15

@@ -1,0 +1,42 @@
+"""Benchmark: scaling of the one-port simulation engine.
+
+Not a paper figure — a substrate sanity benchmark that tracks how the
+event-driven engine scales with the number of tasks and of workers, so that
+campaign-level regressions can be traced back to the engine.
+
+Run with:  pytest benchmarks/bench_engine_scaling.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import simulate
+from repro.core.platform import Platform
+from repro.schedulers import ListScheduler
+from repro.workloads.release import all_at_zero
+
+
+def _platform(n_workers: int) -> Platform:
+    comm = [0.05 + 0.01 * (j % 7) for j in range(n_workers)]
+    comp = [0.5 + 0.25 * (j % 5) for j in range(n_workers)]
+    return Platform.from_times(comm, comp)
+
+
+@pytest.mark.parametrize("n_tasks", [100, 1000, 5000])
+def test_engine_scaling_tasks(benchmark, n_tasks):
+    """Simulation cost as the task count grows (5 workers)."""
+    platform = _platform(5)
+    tasks = all_at_zero(n_tasks)
+    schedule = benchmark(simulate, ListScheduler(), platform, tasks)
+    assert len(schedule) == n_tasks
+    assert schedule.is_feasible()
+
+
+@pytest.mark.parametrize("n_workers", [2, 8, 32])
+def test_engine_scaling_workers(benchmark, n_workers):
+    """Simulation cost as the worker count grows (1000 tasks)."""
+    platform = _platform(n_workers)
+    tasks = all_at_zero(1000)
+    schedule = benchmark(simulate, ListScheduler(), platform, tasks)
+    assert len(schedule) == 1000

@@ -1,0 +1,48 @@
+"""Benchmark: Figure 1(b) — communication-homogeneous platforms.
+
+The paper's findings for this panel: "RRC, which does not take processor
+heterogeneity into account, performs significantly worse than the others; we
+also observe that SLJF is the best approach for makespan minimization."
+
+With the bounded-backlog round-robin semantics documented in DESIGN.md the
+*direction* of both findings is reproduced (RRC is the worst of the
+round-robin family, SLJF is at or tied with the best makespan); the
+magnitude of RRC's penalty is smaller than in the paper because the
+bounded-backlog dispatch still adapts its allocation to processor speeds.
+EXPERIMENTS.md records this deviation.
+
+Run with:  pytest benchmarks/bench_figure1_comm_homog.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+from repro.core.platform import PlatformKind
+from repro.experiments.config import Figure1Config
+from repro.experiments.figure1 import run_figure1_panel
+
+CONFIG = Figure1Config(
+    kind=PlatformKind.COMMUNICATION_HOMOGENEOUS,
+    n_platforms=6,
+    n_tasks=400,
+    seed=2006,
+)
+
+
+def test_figure1b_comm_homogeneous(benchmark):
+    panel = benchmark.pedantic(run_figure1_panel, args=(CONFIG,), rounds=1, iterations=1)
+
+    # RRC (ordering oblivious to processor speeds) is the worst round-robin.
+    assert panel.bar("RRC", "makespan") >= panel.bar("RR", "makespan") - 1e-9
+    assert panel.bar("RRC", "makespan") >= panel.bar("RRP", "makespan") - 1e-9
+
+    # SLJF sits in the leading group for makespan (the paper reports it as
+    # the best; our re-derivation ties with LS within a couple of percent —
+    # see EXPERIMENTS.md).
+    best_makespan = min(
+        panel.bar(name, "makespan") for name in CONFIG.heuristics if name != "SRPT"
+    )
+    assert panel.bar("SLJF", "makespan") <= best_makespan + 0.03
+
+    # Static heuristics still beat SRPT on this platform class.
+    assert panel.bar("LS", "makespan") < 1.0
+    assert panel.bar("SLJF", "makespan") < 1.0

@@ -1,0 +1,39 @@
+"""Benchmark: Figure 1(c) — computation-homogeneous platforms.
+
+The paper's findings for this panel: "RRP and SLJF, which do not take
+communication heterogeneity into account, perform significantly worse than
+the others; we also observe that SLJFWC is the best approach for makespan
+minimization."
+
+Run with:  pytest benchmarks/bench_figure1_comp_homog.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+from repro.core.platform import PlatformKind
+from repro.experiments.config import Figure1Config
+from repro.experiments.figure1 import run_figure1_panel
+
+CONFIG = Figure1Config(
+    kind=PlatformKind.COMPUTATION_HOMOGENEOUS,
+    n_platforms=6,
+    n_tasks=400,
+    seed=2006,
+)
+
+
+def test_figure1c_comp_homogeneous(benchmark):
+    panel = benchmark.pedantic(run_figure1_panel, args=(CONFIG,), rounds=1, iterations=1)
+
+    # RRP (ordering oblivious to link capacities) is the worst round-robin,
+    # and SLJF (communication-oblivious planning) is worse than SLJFWC.
+    assert panel.bar("RRP", "makespan") >= panel.bar("RR", "makespan") - 1e-9
+    assert panel.bar("RRP", "makespan") >= panel.bar("RRC", "makespan") - 1e-9
+    assert panel.bar("SLJF", "makespan") >= panel.bar("SLJFWC", "makespan") - 1e-9
+
+    # SLJFWC sits with the leading group for makespan (within a few percent
+    # of the best non-reference heuristic).
+    best_makespan = min(
+        panel.bar(name, "makespan") for name in CONFIG.heuristics if name != "SRPT"
+    )
+    assert panel.bar("SLJFWC", "makespan") <= best_makespan + 0.05

@@ -1,0 +1,49 @@
+"""Benchmark: Figure 1(d) — fully heterogeneous platforms.
+
+The paper's findings for this panel: "the best algorithms are LS and SLJFWC.
+Moreover, we see that algorithms taking communication delays into account
+actually perform better."
+
+Run with:  pytest benchmarks/bench_figure1_heterogeneous.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.platform import PlatformKind
+from repro.experiments.config import Figure1Config
+from repro.experiments.figure1 import run_figure1_panel
+
+CONFIG = Figure1Config(
+    kind=PlatformKind.HETEROGENEOUS,
+    n_platforms=6,
+    n_tasks=400,
+    seed=2006,
+)
+
+#: Heuristics whose decisions account for the communication times.
+COMM_AWARE = ("LS", "RR", "RRC", "SLJFWC")
+#: Heuristics oblivious to the communication times.
+COMM_OBLIVIOUS = ("SRPT", "RRP", "SLJF")
+
+
+def test_figure1d_heterogeneous(benchmark):
+    panel = benchmark.pedantic(run_figure1_panel, args=(CONFIG,), rounds=1, iterations=1)
+
+    # Every static heuristic beats SRPT on fully heterogeneous platforms.
+    for name in CONFIG.heuristics:
+        if name == "SRPT":
+            continue
+        assert panel.bar(name, "makespan") < 1.0, name
+
+    # LS and SLJFWC are in the leading group for makespan.
+    best = min(panel.bar(name, "makespan") for name in CONFIG.heuristics if name != "SRPT")
+    assert panel.bar("LS", "makespan") <= best + 0.08
+    assert panel.bar("SLJFWC", "makespan") <= best + 0.08
+
+    # On average, communication-aware heuristics beat communication-oblivious
+    # ones (the paper's headline conclusion).
+    aware = float(np.mean([panel.bar(name, "makespan") for name in COMM_AWARE]))
+    oblivious = float(np.mean([panel.bar(name, "makespan") for name in COMM_OBLIVIOUS]))
+    assert aware < oblivious

@@ -1,0 +1,38 @@
+"""Benchmark: Figure 1(a) — heuristic comparison on fully homogeneous platforms.
+
+The paper's finding for this panel: "all static algorithms perform equally
+well on such platforms, and exhibit better performance than the dynamic
+heuristic SRPT."  The benchmark runs a reduced-size campaign (the shape is
+unaffected by the reduction) and asserts that finding.
+
+Run with:  pytest benchmarks/bench_figure1_homogeneous.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+from repro.core.platform import PlatformKind
+from repro.experiments.config import Figure1Config
+from repro.experiments.figure1 import run_figure1_panel
+
+CONFIG = Figure1Config(
+    kind=PlatformKind.HOMOGENEOUS,
+    n_platforms=5,
+    n_tasks=400,
+    seed=2006,
+)
+
+STATIC_HEURISTICS = ("LS", "RR", "RRC", "RRP", "SLJF", "SLJFWC")
+
+
+def test_figure1a_homogeneous(benchmark):
+    panel = benchmark.pedantic(run_figure1_panel, args=(CONFIG,), rounds=1, iterations=1)
+
+    # Every static heuristic beats SRPT on every objective.
+    for name in STATIC_HEURISTICS:
+        for metric in ("makespan", "sum_flow", "max_flow"):
+            assert panel.bar(name, metric) < 1.0, (name, metric)
+
+    # ... and they all perform essentially equally well (within a few percent).
+    for metric in ("makespan", "sum_flow", "max_flow"):
+        values = [panel.bar(name, metric) for name in STATIC_HEURISTICS]
+        assert max(values) - min(values) < 0.05, (metric, values)

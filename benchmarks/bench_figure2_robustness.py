@@ -1,0 +1,43 @@
+"""Benchmark: Figure 2 — robustness to ±10 % task-size perturbations.
+
+The paper's finding: "our algorithms are quite robust for makespan
+minimization problems, but not as much for sum-flow or max-flow problems."
+The benchmark runs a reduced-size robustness campaign and checks that the
+makespan degradation stays small for every heuristic while the flow metrics
+degrade at least as much on average.
+
+Run with:  pytest benchmarks/bench_figure2_robustness.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.config import Figure2Config
+from repro.experiments.figure2 import run_figure2
+
+CONFIG = Figure2Config(
+    n_platforms=4,
+    n_tasks=300,
+    n_perturbations=2,
+    seed=2006,
+)
+
+
+def test_figure2_robustness(benchmark):
+    result = benchmark.pedantic(run_figure2, args=(CONFIG,), rounds=1, iterations=1)
+
+    makespan_ratios = [result.bar(name, "makespan") for name in CONFIG.heuristics]
+    flow_ratios = [
+        result.bar(name, metric)
+        for name in CONFIG.heuristics
+        for metric in ("sum_flow", "max_flow")
+    ]
+
+    # Makespan is robust: a ±10% per-task perturbation moves it by only a few
+    # percent for every heuristic.
+    for name, ratio in zip(CONFIG.heuristics, makespan_ratios):
+        assert 0.9 < ratio < 1.1, (name, ratio)
+
+    # Flow metrics degrade at least as much as the makespan on average.
+    assert float(np.mean(flow_ratios)) >= float(np.mean(makespan_ratios)) - 0.02

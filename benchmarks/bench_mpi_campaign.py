@@ -1,0 +1,39 @@
+"""Benchmark: Figure 1 campaign driven through the simulated MPI cluster.
+
+Exercises the full Section 4.2 protocol (probe, calibrate with integer
+nc_i/np_i repetitions, run every heuristic on the effective platform) and
+checks that the calibrated campaign reaches the same qualitative conclusion
+as the direct-platform campaign: static heuristics beat SRPT.
+
+Run with:  pytest benchmarks/bench_mpi_campaign.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+from repro.analysis.normalize import normalise_to_reference
+from repro.core.platform import PlatformKind
+from repro.mpi_sim import default_cluster, run_cluster_campaign
+
+
+def _run_campaign():
+    cluster = default_cluster(rng=2006)
+    return run_cluster_campaign(
+        PlatformKind.HETEROGENEOUS,
+        n_tasks=300,
+        cluster=cluster,
+        rng=2006,
+    )
+
+
+def test_cluster_campaign(benchmark):
+    result = benchmark.pedantic(_run_campaign, rounds=1, iterations=1)
+
+    # The calibration produced a usable five-slave platform.
+    assert result.platform.n_workers == 5
+    assert result.calibration.max_relative_error < 0.5
+
+    normalised = normalise_to_reference(result.metrics, "SRPT")
+    # The paper's headline conclusion holds on the calibrated platform too:
+    # the static, communication-aware heuristics beat SRPT.
+    assert normalised["LS"]["makespan"] < 1.0
+    assert normalised["SLJFWC"]["makespan"] < 1.0

@@ -1,0 +1,32 @@
+"""Benchmark: per-decision overhead of each scheduling policy.
+
+Not a paper figure — tracks the cost of one full simulation per heuristic on
+a fixed mid-size instance so that policy-level slowdowns show up directly in
+the benchmark history rather than hiding inside campaign numbers.
+
+Run with:  pytest benchmarks/bench_scheduler_overhead.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import simulate
+from repro.core.platform import Platform
+from repro.schedulers import PAPER_HEURISTICS, create_scheduler
+from repro.workloads.release import all_at_zero
+
+PLATFORM = Platform.from_times(
+    comm_times=[0.05, 0.2, 0.4, 0.7, 1.0],
+    comp_times=[0.5, 1.5, 3.0, 5.0, 8.0],
+)
+TASKS = all_at_zero(1000)
+
+
+@pytest.mark.parametrize("name", list(PAPER_HEURISTICS))
+def test_scheduler_overhead(benchmark, name):
+    def run():
+        return simulate(create_scheduler(name), PLATFORM, TASKS, expose_task_count=True)
+
+    schedule = benchmark(run)
+    assert len(schedule) == len(TASKS)

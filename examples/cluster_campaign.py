@@ -1,0 +1,60 @@
+#!/usr/bin/env python
+"""Figure 1 campaign driven through the simulated MPI cluster.
+
+This example follows the experimental protocol of Section 4.2 end to end:
+
+1. build the five-machine simulated cluster (the substitute for the paper's
+   Ethernet testbed);
+2. calibrate it towards a communication-homogeneous platform by probing
+   every slave with a matrix and choosing the nc_i / np_i repetition counts;
+3. run the seven heuristics of the paper on the calibrated platform with a
+   bag of identical tasks;
+4. print the metrics normalised to SRPT, exactly like one bar group of
+   Figure 1(b).
+
+Run with:  python examples/cluster_campaign.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis.normalize import normalise_to_reference
+from repro.core.platform import PlatformKind
+from repro.experiments.reporting import format_metric_table
+from repro.mpi_sim import default_cluster, run_cluster_campaign
+from repro.schedulers import PAPER_HEURISTICS
+
+
+def main() -> None:
+    cluster = default_cluster(rng=42)
+    print("Simulated cluster:")
+    for machine in cluster.machines:
+        print(
+            f"  {machine.name}: cpu={machine.cpu_flops / 1e9:.2f} Gflop/s, "
+            f"nic={machine.nic_bandwidth * 8 / 1e6:.1f} Mbit/s, "
+            f"latency={machine.latency * 1e3:.2f} ms"
+        )
+    print()
+
+    result = run_cluster_campaign(
+        PlatformKind.COMMUNICATION_HOMOGENEOUS,
+        n_tasks=400,
+        cluster=cluster,
+        rng=42,
+    )
+    calibration = result.calibration
+    print("Calibration outcome (Section 4.2 protocol):")
+    print(f"  nc_i multipliers : {list(calibration.comm_multipliers)}")
+    print(f"  np_i multipliers : {list(calibration.comp_multipliers)}")
+    print(f"  effective c_i    : {[round(c, 3) for c in calibration.platform.comm_times]}")
+    print(f"  effective p_i    : {[round(p, 3) for p in calibration.platform.comp_times]}")
+    print(f"  worst relative calibration error: {calibration.max_relative_error:.1%}")
+    print(f"  resulting platform kind         : {calibration.platform.kind}")
+    print()
+
+    normalised = normalise_to_reference(result.metrics, "SRPT")
+    print("Heuristic comparison on the calibrated platform (normalised to SRPT):")
+    print(format_metric_table(normalised, row_order=list(PAPER_HEURISTICS)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""repro — reproduction of Pineau, Robert & Vivien (IPPS 2006).
+
+"The impact of heterogeneity on master-slave on-line scheduling": a one-port
+master-slave scheduling library with the paper's seven on-line heuristics,
+the nine competitive-ratio lower-bound adversary games of Table 1, a
+simulated MPI cluster substrate and the experiment harness regenerating
+Figures 1 and 2.
+"""
+
+from . import core, schedulers, theory
+from .core import (
+    Decision,
+    Objective,
+    OnePortEngine,
+    Platform,
+    PlatformKind,
+    Schedule,
+    SchedulerView,
+    Task,
+    TaskSet,
+    Worker,
+    evaluate,
+    identical_tasks,
+    makespan,
+    max_flow,
+    simulate,
+    sum_flow,
+)
+from .schedulers import PAPER_HEURISTICS, available_schedulers, create_scheduler
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Decision",
+    "Objective",
+    "OnePortEngine",
+    "PAPER_HEURISTICS",
+    "Platform",
+    "PlatformKind",
+    "Schedule",
+    "SchedulerView",
+    "Task",
+    "TaskSet",
+    "Worker",
+    "__version__",
+    "available_schedulers",
+    "core",
+    "create_scheduler",
+    "evaluate",
+    "identical_tasks",
+    "makespan",
+    "max_flow",
+    "schedulers",
+    "simulate",
+    "sum_flow",
+    "theory",
+]

@@ -1,0 +1,18 @@
+"""Statistics, normalisation and competitive-ratio helpers for reports."""
+
+from .competitive import RatioSample, empirical_ratios, worst_case_search
+from .normalize import normalise_to_reference, ratio_to_baseline
+from .stats import SampleSummary, aggregate_metrics, bootstrap_ci, geometric_mean, summarise
+
+__all__ = [
+    "RatioSample",
+    "SampleSummary",
+    "aggregate_metrics",
+    "bootstrap_ci",
+    "empirical_ratios",
+    "geometric_mean",
+    "normalise_to_reference",
+    "ratio_to_baseline",
+    "summarise",
+    "worst_case_search",
+]

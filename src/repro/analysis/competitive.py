@@ -1,0 +1,130 @@
+"""Empirical competitive-ratio estimation.
+
+The theorems of Section 3 give *lower* bounds on the competitive ratio of any
+deterministic on-line algorithm; the paper leaves "which of these bounds can
+be met" as future work.  This module provides the measurement side of that
+question: it estimates, for a given heuristic and platform class, the
+distribution of the ratio
+
+    objective(heuristic schedule) / objective(off-line optimal schedule)
+
+over many small random instances (small enough for the brute-force optimum of
+:mod:`repro.schedulers.offline` to be exact).  The worst observed ratio is an
+empirical floor for the heuristic's true competitive ratio — it can never
+exceed the heuristic's (unknown) guarantee and, by Theorem 1–9, it can never
+be driven below the Table 1 bound by *any* deterministic heuristic when the
+adversarial instances are included in the sample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.engine import simulate
+from ..core.metrics import Objective, objective_value
+from ..core.platform import Platform, PlatformKind
+from ..core.task import TaskSet
+from ..exceptions import ExperimentError
+from ..schedulers.base import OnlineScheduler, create_scheduler
+from ..schedulers.offline import optimal_value
+from ..workloads.platforms import PlatformSpec, random_platform
+from ..workloads.release import RngLike, as_rng
+from .stats import SampleSummary, summarise
+
+__all__ = ["RatioSample", "empirical_ratios", "worst_case_search"]
+
+
+@dataclass(frozen=True)
+class RatioSample:
+    """Empirical performance ratios of one heuristic for one objective."""
+
+    scheduler_name: str
+    objective: Objective
+    ratios: Sequence[float]
+
+    @property
+    def worst(self) -> float:
+        return float(max(self.ratios))
+
+    @property
+    def mean(self) -> float:
+        return float(np.mean(self.ratios))
+
+    def summary(self) -> SampleSummary:
+        return summarise(self.ratios)
+
+
+def _random_instance(
+    rng: np.random.Generator,
+    kind: PlatformKind,
+    n_workers: int,
+    max_tasks: int,
+    release_span: float,
+) -> tuple:
+    spec = PlatformSpec(kind=kind, n_workers=n_workers)
+    platform = random_platform(spec, rng)
+    n_tasks = int(rng.integers(2, max_tasks + 1))
+    releases = [float(r) for r in rng.uniform(0.0, release_span, size=n_tasks)]
+    releases[0] = 0.0
+    return platform, TaskSet.from_releases(releases)
+
+
+def empirical_ratios(
+    scheduler_name: str,
+    objective: Objective,
+    kind: PlatformKind = PlatformKind.HETEROGENEOUS,
+    n_instances: int = 50,
+    n_workers: int = 2,
+    max_tasks: int = 5,
+    release_span: float = 3.0,
+    rng: RngLike = None,
+) -> RatioSample:
+    """Sample performance ratios of a heuristic on random small instances.
+
+    Instances are kept small (``max_tasks`` ≤ the brute-force limit) so the
+    denominator is the exact off-line optimum.
+    """
+    if n_instances <= 0:
+        raise ExperimentError("n_instances must be positive")
+    generator = as_rng(rng)
+    ratios: List[float] = []
+    for _ in range(n_instances):
+        platform, tasks = _random_instance(
+            generator, kind, n_workers, max_tasks, release_span
+        )
+        scheduler = create_scheduler(scheduler_name)
+        schedule = simulate(scheduler, platform, tasks, expose_task_count=True)
+        achieved = objective_value(schedule, objective)
+        best = optimal_value(platform, tasks, objective)
+        ratios.append(achieved / best)
+    return RatioSample(scheduler_name=scheduler_name, objective=objective, ratios=ratios)
+
+
+def worst_case_search(
+    scheduler_name: str,
+    objective: Objective,
+    kind: PlatformKind = PlatformKind.HETEROGENEOUS,
+    n_instances: int = 200,
+    rng: RngLike = None,
+    **kwargs,
+) -> Dict[str, object]:
+    """Random search for bad instances of one heuristic.
+
+    Returns the worst ratio found together with the sample summary; useful
+    for comparing a heuristic's empirical behaviour against the Table 1
+    floor for its platform class.
+    """
+    sample = empirical_ratios(
+        scheduler_name, objective, kind=kind, n_instances=n_instances, rng=rng, **kwargs
+    )
+    return {
+        "scheduler": scheduler_name,
+        "objective": str(objective),
+        "platform_kind": str(kind),
+        "worst_ratio": sample.worst,
+        "mean_ratio": sample.mean,
+        "summary": sample.summary().as_dict(),
+    }

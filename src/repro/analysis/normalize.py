@@ -1,0 +1,78 @@
+"""Normalisation helpers for the Figure 1 / Figure 2 style reports.
+
+Figure 1 normalises every metric to the value obtained by SRPT on the same
+platform ("We normalize everything to the performance of SRPT, whose
+makespan, max-flow and sum-flow are therefore set equal to 1"), then averages
+over the ten random platforms.  Figure 2 instead compares each algorithm to
+*itself* on the unperturbed workload.
+
+The helpers here operate on nested mappings ``{algorithm: {metric: value}}``
+so they can be reused by both experiment modules and by user code.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from ..exceptions import ExperimentError
+
+__all__ = ["normalise_to_reference", "ratio_to_baseline"]
+
+
+def normalise_to_reference(
+    values: Mapping[str, Mapping[str, float]],
+    reference: str,
+) -> Dict[str, Dict[str, float]]:
+    """Divide every algorithm's metrics by the reference algorithm's metrics.
+
+    ``values`` maps algorithm name to a metric dictionary; the result has the
+    same shape, with the reference algorithm's entries all equal to 1.
+    """
+    if reference not in values:
+        raise ExperimentError(
+            f"reference algorithm {reference!r} missing from results "
+            f"({sorted(values)})"
+        )
+    reference_metrics = values[reference]
+    normalised: Dict[str, Dict[str, float]] = {}
+    for algorithm, metrics in values.items():
+        row: Dict[str, float] = {}
+        for metric, value in metrics.items():
+            if metric not in reference_metrics:
+                raise ExperimentError(
+                    f"metric {metric!r} missing from reference results"
+                )
+            denominator = reference_metrics[metric]
+            if denominator == 0:
+                raise ExperimentError(
+                    f"reference value for {metric!r} is zero; cannot normalise"
+                )
+            row[metric] = value / denominator
+        normalised[algorithm] = row
+    return normalised
+
+
+def ratio_to_baseline(
+    perturbed: Mapping[str, Mapping[str, float]],
+    baseline: Mapping[str, Mapping[str, float]],
+) -> Dict[str, Dict[str, float]]:
+    """Per-algorithm, per-metric ratio of a perturbed run to its own baseline
+    (the Figure 2 robustness measure)."""
+    ratios: Dict[str, Dict[str, float]] = {}
+    for algorithm, metrics in perturbed.items():
+        if algorithm not in baseline:
+            raise ExperimentError(f"algorithm {algorithm!r} missing from baseline")
+        row: Dict[str, float] = {}
+        for metric, value in metrics.items():
+            base_value = baseline[algorithm].get(metric)
+            if base_value is None:
+                raise ExperimentError(
+                    f"metric {metric!r} missing from baseline of {algorithm!r}"
+                )
+            if base_value == 0:
+                raise ExperimentError(
+                    f"baseline value for {algorithm!r}/{metric!r} is zero"
+                )
+            row[metric] = value / base_value
+        ratios[algorithm] = row
+    return ratios

@@ -1,0 +1,107 @@
+"""Summary statistics used by the experiment reports.
+
+Nothing fancy: means, medians, geometric means and bootstrap confidence
+intervals over small samples (the campaigns average over ten platforms, as
+the paper does), plus a helper to aggregate dictionaries of per-run metrics.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..exceptions import ExperimentError
+
+__all__ = ["SampleSummary", "summarise", "geometric_mean", "bootstrap_ci", "aggregate_metrics"]
+
+
+@dataclass(frozen=True)
+class SampleSummary:
+    """Descriptive statistics of one scalar sample."""
+
+    n: int
+    mean: float
+    std: float
+    minimum: float
+    median: float
+    maximum: float
+    geo_mean: float
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "n": float(self.n),
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "median": self.median,
+            "max": self.maximum,
+            "geo_mean": self.geo_mean,
+        }
+
+
+def _as_array(values: Iterable[float]) -> np.ndarray:
+    array = np.asarray(list(values), dtype=float)
+    if array.size == 0:
+        raise ExperimentError("cannot summarise an empty sample")
+    if not np.all(np.isfinite(array)):
+        raise ExperimentError("sample contains non-finite values")
+    return array
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of a strictly positive sample."""
+    array = _as_array(values)
+    if np.any(array <= 0):
+        raise ExperimentError("geometric mean requires strictly positive values")
+    return float(np.exp(np.mean(np.log(array))))
+
+
+def summarise(values: Iterable[float]) -> SampleSummary:
+    """Descriptive statistics of one sample."""
+    array = _as_array(values)
+    geo = geometric_mean(array) if np.all(array > 0) else math.nan
+    return SampleSummary(
+        n=int(array.size),
+        mean=float(np.mean(array)),
+        std=float(np.std(array, ddof=1)) if array.size > 1 else 0.0,
+        minimum=float(np.min(array)),
+        median=float(np.median(array)),
+        maximum=float(np.max(array)),
+        geo_mean=geo,
+    )
+
+
+def bootstrap_ci(
+    values: Iterable[float],
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    rng: Optional[np.random.Generator] = None,
+) -> Dict[str, float]:
+    """Percentile bootstrap confidence interval for the sample mean."""
+    if not 0.0 < confidence < 1.0:
+        raise ExperimentError(f"confidence must be in (0, 1), got {confidence}")
+    array = _as_array(values)
+    generator = rng if rng is not None else np.random.default_rng(0)
+    resample_means = np.empty(n_resamples)
+    for index in range(n_resamples):
+        draw = generator.choice(array, size=array.size, replace=True)
+        resample_means[index] = draw.mean()
+    alpha = (1.0 - confidence) / 2.0
+    low, high = np.quantile(resample_means, [alpha, 1.0 - alpha])
+    return {"mean": float(array.mean()), "low": float(low), "high": float(high)}
+
+
+def aggregate_metrics(
+    per_run: Sequence[Mapping[str, float]],
+) -> Dict[str, SampleSummary]:
+    """Aggregate a list of per-run metric dictionaries key by key."""
+    if not per_run:
+        raise ExperimentError("no runs to aggregate")
+    keys = set(per_run[0])
+    for run in per_run[1:]:
+        if set(run) != keys:
+            raise ExperimentError("runs do not share the same metric keys")
+    return {key: summarise([run[key] for run in per_run]) for key in sorted(keys)}

@@ -1,0 +1,154 @@
+"""Command-line interface.
+
+``python -m repro <command>`` (or the ``repro-scheduling`` console script)
+regenerates the paper's tables and figures from a terminal:
+
+* ``table1`` — the nine certified lower bounds;
+* ``figure1`` — the heuristic comparison on the four platform classes;
+* ``figure2`` — the robustness experiment;
+* ``demo`` — a single small run with an ASCII Gantt chart, useful as a
+  smoke test of the engine and of one scheduler.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.engine import simulate
+from .core.metrics import evaluate
+from .core.platform import Platform
+from .core.trace import render_ascii_gantt
+from .experiments.config import Figure1Config, Figure2Config
+from .experiments.figure1 import run_figure1
+from .experiments.figure2 import run_figure2
+from .experiments.reporting import (
+    format_figure1,
+    format_figure2,
+    format_table1_result,
+)
+from .experiments.table1 import run_table1
+from .schedulers.base import available_schedulers, create_scheduler
+from .workloads.release import all_at_zero
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-scheduling",
+        description=(
+            "Reproduction of 'The impact of heterogeneity on master-slave "
+            "on-line scheduling' (Pineau, Robert, Vivien, IPPS 2006)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    table1 = subparsers.add_parser("table1", help="regenerate Table 1")
+    table1.add_argument(
+        "--heuristics",
+        action="store_true",
+        help="also play every heuristic against every adversary (slower)",
+    )
+
+    figure1 = subparsers.add_parser("figure1", help="regenerate Figure 1")
+    figure1.add_argument("--platforms", type=int, default=10, help="platforms per panel")
+    figure1.add_argument("--tasks", type=int, default=1000, help="tasks per run")
+    figure1.add_argument("--seed", type=int, default=2006)
+    figure1.add_argument(
+        "--cluster",
+        action="store_true",
+        help="drive the campaign through the simulated MPI cluster substrate",
+    )
+    figure1.add_argument(
+        "--panels",
+        nargs="+",
+        default=None,
+        metavar="PANEL",
+        help="subset of panels to run (1a 1b 1c 1d)",
+    )
+
+    figure2 = subparsers.add_parser("figure2", help="regenerate Figure 2")
+    figure2.add_argument("--platforms", type=int, default=10)
+    figure2.add_argument("--tasks", type=int, default=1000)
+    figure2.add_argument("--seed", type=int, default=2006)
+    figure2.add_argument("--amplitude", type=float, default=0.10)
+
+    demo = subparsers.add_parser("demo", help="run one scheduler and print a Gantt chart")
+    demo.add_argument("--scheduler", default="LS", choices=available_schedulers())
+    demo.add_argument("--tasks", type=int, default=12)
+    demo.add_argument(
+        "--comm", type=float, nargs="+", default=[0.2, 0.5, 1.0], help="c_j per worker"
+    )
+    demo.add_argument(
+        "--comp", type=float, nargs="+", default=[1.0, 2.0, 4.0], help="p_j per worker"
+    )
+    return parser
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    result = run_table1(include_heuristics=args.heuristics)
+    print(format_table1_result(result))
+    return 0
+
+
+def _cmd_figure1(args: argparse.Namespace) -> int:
+    config = Figure1Config(
+        n_platforms=args.platforms,
+        n_tasks=args.tasks,
+        seed=args.seed,
+        use_cluster=args.cluster,
+    )
+    result = run_figure1(config, panels=args.panels)
+    print(format_figure1(result))
+    return 0
+
+
+def _cmd_figure2(args: argparse.Namespace) -> int:
+    config = Figure2Config(
+        n_platforms=args.platforms,
+        n_tasks=args.tasks,
+        seed=args.seed,
+        perturbation_amplitude=args.amplitude,
+    )
+    result = run_figure2(config)
+    print(format_figure2(result))
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    if len(args.comm) != len(args.comp):
+        print("error: --comm and --comp must have the same length", file=sys.stderr)
+        return 2
+    platform = Platform.from_times(args.comm, args.comp)
+    tasks = all_at_zero(args.tasks)
+    scheduler = create_scheduler(args.scheduler)
+    schedule = simulate(scheduler, platform, tasks, expose_task_count=True)
+    metrics = evaluate(schedule)
+    print(f"scheduler : {scheduler.name}")
+    print(f"platform  : {platform!r}")
+    print(f"makespan  : {metrics.makespan:.3f}")
+    print(f"sum-flow  : {metrics.sum_flow:.3f}")
+    print(f"max-flow  : {metrics.max_flow:.3f}")
+    print()
+    print(render_ascii_gantt(schedule))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "table1": _cmd_table1,
+        "figure1": _cmd_figure1,
+        "figure2": _cmd_figure2,
+        "demo": _cmd_demo,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

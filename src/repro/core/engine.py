@@ -1,0 +1,462 @@
+"""Event-driven one-port master-slave simulation engine.
+
+This module is the substrate on which every other piece of the reproduction
+runs: the seven heuristics of Section 4, the off-line brute-force reference,
+and the adversary games behind the nine lower-bound theorems all execute the
+very same engine, so the theory and the experiments share one definition of
+what a schedule *is*.
+
+Model (Section 2 of the paper)
+------------------------------
+* The master owns a single outgoing port: at any instant it is sending at
+  most one task (the *one-port* model).  Sending one task to worker
+  :math:`P_j` occupies the port for :math:`c_j` time units.
+* A worker may receive a task while computing another one; received tasks
+  wait in the worker's input queue and are executed in arrival order, each
+  taking :math:`p_j` time units.
+* Tasks arrive on-line: the scheduler discovers task *i* only at its release
+  time :math:`r_i`.
+
+Scheduler protocol
+------------------
+The engine consults the scheduler at every *decision point* — any event after
+which the master's port is free and at least one released task is still
+unassigned.  The scheduler sees an immutable :class:`SchedulerView` and
+returns a :class:`Decision`:
+
+* :meth:`Decision.assign` — start sending the given task to the given worker
+  immediately;
+* :meth:`Decision.wait_until` — do nothing, but wake the scheduler up again
+  at the given time even if no other event occurs (this is how deliberately
+  delaying strategies, e.g. the candidate algorithms in the lower-bound
+  proofs, are expressed);
+* :meth:`Decision.wait` — do nothing until the next natural event.
+
+Returning ``wait`` while no future event exists raises
+:class:`~repro.exceptions.SchedulingStalledError` instead of hanging.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
+
+from ..exceptions import (
+    InvalidDecisionError,
+    SchedulingError,
+    SchedulingStalledError,
+)
+from .events import EventKind, EventQueue
+from .platform import Platform, Worker
+from .schedule import Schedule, TaskRecord
+from .task import Task, TaskSet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..schedulers.base import OnlineScheduler
+
+__all__ = [
+    "Decision",
+    "WorkerView",
+    "SchedulerView",
+    "OnePortEngine",
+    "simulate",
+]
+
+
+# ---------------------------------------------------------------------------
+# Decisions
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Decision:
+    """What a scheduler wants the engine to do at a decision point.
+
+    Use the class-method constructors rather than instantiating directly.
+    """
+
+    kind: str
+    task_id: int = -1
+    worker_id: int = -1
+    until: float = math.nan
+
+    ASSIGN = "assign"
+    WAIT = "wait"
+    WAIT_UNTIL = "wait-until"
+
+    @classmethod
+    def assign(cls, task_id: int, worker_id: int) -> "Decision":
+        """Send ``task_id`` to ``worker_id`` starting now."""
+        return cls(kind=cls.ASSIGN, task_id=task_id, worker_id=worker_id)
+
+    @classmethod
+    def wait(cls) -> "Decision":
+        """Do nothing until the next natural event."""
+        return cls(kind=cls.WAIT)
+
+    @classmethod
+    def wait_until(cls, time: float) -> "Decision":
+        """Do nothing, but guarantee a wake-up at ``time``."""
+        return cls(kind=cls.WAIT_UNTIL, until=float(time))
+
+    @property
+    def is_assignment(self) -> bool:
+        return self.kind == self.ASSIGN
+
+
+# ---------------------------------------------------------------------------
+# Scheduler-facing views
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class WorkerView:
+    """What a scheduler may know about one worker at a decision point.
+
+    All quantities are computable by a real on-line master: they only involve
+    the worker's static parameters and the tasks the master itself already
+    assigned to it.
+    """
+
+    worker_id: int
+    c: float
+    p: float
+    #: Time at which the worker will have finished every task already
+    #: assigned to it (including tasks still being sent).  Equals ``now`` or
+    #: earlier when the worker is idle with nothing in flight.
+    ready_time: float
+    #: Number of assigned-but-not-yet-completed tasks (in flight + queued +
+    #: the one currently computing).
+    backlog: int
+    #: Number of tasks already completed by this worker.
+    completed: int
+
+    @property
+    def is_free(self) -> bool:
+        """True when nothing is assigned to the worker (SRPT's notion of a
+        *free slave*)."""
+        return self.backlog == 0
+
+    def estimated_completion(
+        self, send_start: float, comm_factor: float = 1.0, comp_factor: float = 1.0
+    ) -> float:
+        """Completion time of a hypothetical task sent at ``send_start``.
+
+        This is exact under the FIFO-per-worker execution model: the task
+        arrives at ``send_start + c`` and starts computing when both it has
+        arrived and the worker has drained its current backlog.
+        """
+        arrival = send_start + self.c * comm_factor
+        return max(arrival, self.ready_time) + self.p * comp_factor
+
+
+@dataclass(frozen=True)
+class SchedulerView:
+    """Immutable snapshot handed to the scheduler at a decision point."""
+
+    now: float
+    #: Released, not-yet-assigned tasks in FIFO order (release, then id).
+    pending: Tuple[Task, ...]
+    workers: Tuple[WorkerView, ...]
+    #: True when the master's port is free (always true at decision points,
+    #: kept for completeness so views can also be built for inspection).
+    channel_free: bool
+    #: Time at which the port frees (== ``now`` when it is free).
+    channel_free_at: float
+    #: Number of tasks released so far (assigned or not).
+    n_released: int
+    #: Number of tasks whose computation has completed.
+    n_completed: int
+    #: Total number of tasks in the instance if the engine was told to expose
+    #: it (off-line knowledge used by SLJF/SLJFWC), ``None`` otherwise.
+    n_total: Optional[int] = None
+
+    def worker(self, worker_id: int) -> WorkerView:
+        return self.workers[worker_id]
+
+    @property
+    def free_workers(self) -> Tuple[WorkerView, ...]:
+        """Workers with an empty backlog."""
+        return tuple(w for w in self.workers if w.is_free)
+
+    @property
+    def next_pending(self) -> Optional[Task]:
+        """The first pending task in FIFO order, or ``None``."""
+        return self.pending[0] if self.pending else None
+
+
+# ---------------------------------------------------------------------------
+# Internal mutable worker state
+# ---------------------------------------------------------------------------
+@dataclass
+class _WorkerState:
+    worker: Worker
+    #: exact time at which all currently assigned work will be finished
+    ready_time: float = 0.0
+    #: tasks assigned (in flight, queued or computing) but not completed
+    backlog: int = 0
+    completed: int = 0
+    #: arrival queue: (task_id, arrival_time) for tasks received, not started
+    queue: List[Tuple[int, float]] = field(default_factory=list)
+    #: (task_id, finish_time) of the task currently computing, if any
+    computing: Optional[Tuple[int, float]] = None
+
+    def view(self, now: float) -> WorkerView:
+        return WorkerView(
+            worker_id=self.worker.worker_id,
+            c=self.worker.c,
+            p=self.worker.p,
+            ready_time=max(self.ready_time, now) if self.backlog else now,
+            backlog=self.backlog,
+            completed=self.completed,
+        )
+
+
+@dataclass
+class _PartialRecord:
+    task_id: int
+    worker_id: int
+    release: float
+    send_start: float
+    send_end: float
+    compute_start: float = math.nan
+    compute_end: float = math.nan
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+class OnePortEngine:
+    """Run an on-line scheduler over a platform and a task set.
+
+    Parameters
+    ----------
+    platform:
+        The master-slave platform.
+    tasks:
+        The task set (release dates may be in the future; the scheduler only
+        sees released tasks).
+    expose_task_count:
+        When true the scheduler view carries ``n_total = len(tasks)``; this is
+        the extra off-line knowledge required by SLJF/SLJFWC (Section 4.1
+        explains that these heuristics plan a prefix of known size).
+    max_events:
+        Safety valve against run-away schedulers; the default is generous
+        (every task generates exactly three model events plus wake-ups).
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        tasks: TaskSet,
+        expose_task_count: bool = False,
+        max_events: Optional[int] = None,
+    ) -> None:
+        self.platform = platform
+        self.tasks = tasks
+        self.expose_task_count = expose_task_count
+        self.max_events = (
+            max_events if max_events is not None else 100 * max(len(tasks), 1) + 1000
+        )
+
+        self.now = 0.0
+        self.channel_free_at = 0.0
+        self._events = EventQueue()
+        self._workers: List[_WorkerState] = [
+            _WorkerState(worker=w) for w in platform.workers
+        ]
+        self._pending: List[Task] = []          # released, unassigned, FIFO
+        self._records: Dict[int, _PartialRecord] = {}
+        self._n_released = 0
+        self._n_completed = 0
+        self._n_assigned = 0
+
+        for task in tasks:
+            self._events.push(task.release, EventKind.TASK_RELEASE, task_id=task.task_id)
+
+    # -- views ---------------------------------------------------------------
+    def view(self) -> SchedulerView:
+        """Build the immutable snapshot handed to the scheduler."""
+        return SchedulerView(
+            now=self.now,
+            pending=tuple(self._pending),
+            workers=tuple(state.view(self.now) for state in self._workers),
+            channel_free=self.channel_free_at <= self.now,
+            channel_free_at=max(self.channel_free_at, self.now)
+            if self.channel_free_at > self.now
+            else self.now,
+            n_released=self._n_released,
+            n_completed=self._n_completed,
+            n_total=len(self.tasks) if self.expose_task_count else None,
+        )
+
+    # -- main loop -----------------------------------------------------------
+    def run(self, scheduler: "OnlineScheduler") -> Schedule:
+        """Execute the scheduler until every task has completed."""
+        scheduler.reset(
+            self.platform,
+            n_tasks_hint=len(self.tasks) if self.expose_task_count else None,
+        )
+        processed = 0
+        n_tasks = len(self.tasks)
+
+        while self._n_completed < n_tasks:
+            # 1. consult the scheduler if a decision is possible
+            self._maybe_consult(scheduler)
+
+            # 2. advance to the next event
+            if self._n_completed >= n_tasks:
+                break
+            event = self._events.peek()
+            if event is None:
+                raise SchedulingStalledError(
+                    "scheduler declined to act and no future event exists; "
+                    f"{len(self._pending)} task(s) remain unassigned"
+                )
+            self._events.pop()
+            processed += 1
+            if processed > self.max_events:
+                raise SchedulingError(
+                    f"simulation exceeded {self.max_events} events; "
+                    "the scheduler is probably requesting wake-ups in a loop"
+                )
+            if event.time < self.now - 1e-12:
+                raise SchedulingError("event queue went back in time")
+            self.now = max(self.now, event.time)
+
+            if event.kind == EventKind.TASK_RELEASE:
+                self._on_release(event.task_id)
+            elif event.kind == EventKind.SEND_COMPLETE:
+                self._on_send_complete(event.task_id, event.worker_id)
+            elif event.kind == EventKind.COMPUTE_COMPLETE:
+                self._on_compute_complete(event.task_id, event.worker_id)
+            elif event.kind == EventKind.WAKEUP:
+                pass  # its only purpose is to trigger a new consultation
+            else:  # pragma: no cover - exhaustive enum
+                raise SchedulingError(f"unknown event kind {event.kind}")
+
+        records = [
+            TaskRecord(
+                task_id=r.task_id,
+                worker_id=r.worker_id,
+                release=r.release,
+                send_start=r.send_start,
+                send_end=r.send_end,
+                compute_start=r.compute_start,
+                compute_end=r.compute_end,
+            )
+            for r in self._records.values()
+        ]
+        return Schedule(self.platform, self.tasks, records)
+
+    # -- scheduler consultation ----------------------------------------------
+    def _maybe_consult(self, scheduler: "OnlineScheduler") -> None:
+        """Ask the scheduler for decisions while it can and wants to act."""
+        guard = 0
+        while self.channel_free_at <= self.now + 1e-15 and self._pending:
+            guard += 1
+            if guard > len(self.tasks) + 10:
+                raise SchedulingError(
+                    "scheduler returned more assignments than possible in one instant"
+                )
+            decision = scheduler.decide(self.view())
+            if decision is None:
+                decision = Decision.wait()
+            if not isinstance(decision, Decision):
+                raise InvalidDecisionError(
+                    f"scheduler returned {type(decision).__name__}, expected Decision"
+                )
+            if decision.kind == Decision.WAIT:
+                return
+            if decision.kind == Decision.WAIT_UNTIL:
+                if not math.isfinite(decision.until) or decision.until < self.now - 1e-12:
+                    raise InvalidDecisionError(
+                        f"wake-up time {decision.until} is in the past (now={self.now})"
+                    )
+                self._events.push(max(decision.until, self.now), EventKind.WAKEUP)
+                return
+            # assignment
+            self._start_send(decision.task_id, decision.worker_id)
+            # After an assignment the port is busy, so the loop exits naturally.
+
+    # -- event handlers --------------------------------------------------------
+    def _on_release(self, task_id: int) -> None:
+        task = self.tasks.by_id(task_id)
+        self._pending.append(task)
+        self._pending.sort()  # keep FIFO (release, id) order
+        self._n_released += 1
+
+    def _start_send(self, task_id: int, worker_id: int) -> None:
+        pending_ids = [t.task_id for t in self._pending]
+        if task_id not in pending_ids:
+            raise InvalidDecisionError(
+                f"task {task_id} is not pending (pending: {pending_ids})"
+            )
+        if not 0 <= worker_id < len(self._workers):
+            raise InvalidDecisionError(f"unknown worker {worker_id}")
+        task = self.tasks.by_id(task_id)
+        worker_state = self._workers[worker_id]
+        worker = worker_state.worker
+
+        send_start = self.now
+        send_end = send_start + worker.comm_time(task.comm_factor)
+        self.channel_free_at = send_end
+
+        # exact incremental ready-time update (FIFO execution on the worker)
+        worker_state.ready_time = (
+            max(worker_state.ready_time, send_end) + worker.comp_time(task.comp_factor)
+        )
+        worker_state.backlog += 1
+
+        self._pending = [t for t in self._pending if t.task_id != task_id]
+        self._records[task_id] = _PartialRecord(
+            task_id=task_id,
+            worker_id=worker_id,
+            release=task.release,
+            send_start=send_start,
+            send_end=send_end,
+        )
+        self._n_assigned += 1
+        self._events.push(send_end, EventKind.SEND_COMPLETE, task_id=task_id, worker_id=worker_id)
+
+    def _on_send_complete(self, task_id: int, worker_id: int) -> None:
+        state = self._workers[worker_id]
+        state.queue.append((task_id, self.now))
+        if state.computing is None:
+            self._start_next_computation(worker_id)
+
+    def _start_next_computation(self, worker_id: int) -> None:
+        state = self._workers[worker_id]
+        if state.computing is not None or not state.queue:
+            return
+        task_id, _arrival = state.queue.pop(0)
+        task = self.tasks.by_id(task_id)
+        start = self.now
+        finish = start + state.worker.comp_time(task.comp_factor)
+        state.computing = (task_id, finish)
+        record = self._records[task_id]
+        record.compute_start = start
+        record.compute_end = finish
+        self._events.push(
+            finish, EventKind.COMPUTE_COMPLETE, task_id=task_id, worker_id=worker_id
+        )
+
+    def _on_compute_complete(self, task_id: int, worker_id: int) -> None:
+        state = self._workers[worker_id]
+        if state.computing is None or state.computing[0] != task_id:
+            raise SchedulingError(
+                f"worker {worker_id} completed task {task_id} it was not computing"
+            )
+        state.computing = None
+        state.backlog -= 1
+        state.completed += 1
+        self._n_completed += 1
+        self._start_next_computation(worker_id)
+
+
+def simulate(
+    scheduler: "OnlineScheduler",
+    platform: Platform,
+    tasks: TaskSet,
+    expose_task_count: bool = False,
+) -> Schedule:
+    """Convenience wrapper: build an engine, run ``scheduler``, return the schedule."""
+    engine = OnePortEngine(platform, tasks, expose_task_count=expose_task_count)
+    return engine.run(scheduler)

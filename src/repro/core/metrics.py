@@ -1,0 +1,165 @@
+"""Objective functions and schedule statistics.
+
+The paper evaluates schedules with three objective functions (Section 2):
+
+* **makespan** — :math:`\\max_i C_i`, the total execution time;
+* **max-flow** — :math:`\\max_i (C_i - r_i)`, the maximum response time;
+* **sum-flow** — :math:`\\sum_i (C_i - r_i)`, the sum of response times,
+  equivalent to the sum of completion times up to the constant
+  :math:`\\sum_i r_i`.
+
+:func:`evaluate` computes all three at once plus a handful of secondary
+statistics (worker utilisation, master port utilisation, queueing delay)
+used by the experiment reports.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Callable, Dict, Mapping
+
+from ..exceptions import SchedulingError
+from .schedule import Schedule
+
+__all__ = [
+    "Objective",
+    "makespan",
+    "max_flow",
+    "sum_flow",
+    "mean_flow",
+    "sum_completion",
+    "objective_value",
+    "ScheduleMetrics",
+    "evaluate",
+]
+
+
+class Objective(enum.Enum):
+    """The three objective functions of the paper."""
+
+    MAKESPAN = "makespan"
+    MAX_FLOW = "max-flow"
+    SUM_FLOW = "sum-flow"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+def _require_non_empty(schedule: Schedule) -> None:
+    if len(schedule) == 0:
+        raise SchedulingError("cannot evaluate an empty schedule")
+
+
+def makespan(schedule: Schedule) -> float:
+    """Total execution time :math:`\\max_i C_i`."""
+    _require_non_empty(schedule)
+    return max(record.completion for record in schedule)
+
+
+def max_flow(schedule: Schedule) -> float:
+    """Maximum response time :math:`\\max_i (C_i - r_i)`."""
+    _require_non_empty(schedule)
+    return max(record.flow for record in schedule)
+
+
+def sum_flow(schedule: Schedule) -> float:
+    """Sum of response times :math:`\\sum_i (C_i - r_i)`."""
+    _require_non_empty(schedule)
+    return float(sum(record.flow for record in schedule))
+
+
+def mean_flow(schedule: Schedule) -> float:
+    """Average response time."""
+    _require_non_empty(schedule)
+    return sum_flow(schedule) / len(schedule)
+
+
+def sum_completion(schedule: Schedule) -> float:
+    """Sum of completion times :math:`\\sum_i C_i` (= sum-flow + :math:`\\sum r_i`)."""
+    _require_non_empty(schedule)
+    return float(sum(record.completion for record in schedule))
+
+
+_OBJECTIVE_FUNCTIONS: Dict[Objective, Callable[[Schedule], float]] = {
+    Objective.MAKESPAN: makespan,
+    Objective.MAX_FLOW: max_flow,
+    Objective.SUM_FLOW: sum_flow,
+}
+
+
+def objective_value(schedule: Schedule, objective: Objective) -> float:
+    """Value of a single objective on a schedule."""
+    try:
+        return _OBJECTIVE_FUNCTIONS[objective](schedule)
+    except KeyError as exc:  # pragma: no cover - exhaustive enum
+        raise SchedulingError(f"unknown objective {objective}") from exc
+
+
+@dataclass(frozen=True)
+class ScheduleMetrics:
+    """All objectives plus secondary statistics for one schedule."""
+
+    n_tasks: int
+    makespan: float
+    max_flow: float
+    sum_flow: float
+    mean_flow: float
+    sum_completion: float
+    #: Fraction of [0, makespan] during which the master's port was sending.
+    master_utilisation: float
+    #: Per-worker fraction of [0, makespan] spent computing.
+    worker_utilisation: Mapping[int, float]
+    #: Per-worker number of executed tasks.
+    worker_task_counts: Mapping[int, int]
+    #: Average time tasks spent waiting in a worker input queue.
+    mean_queue_wait: float
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat dictionary of the scalar metrics (used by reports)."""
+        return {
+            "n_tasks": float(self.n_tasks),
+            "makespan": self.makespan,
+            "max_flow": self.max_flow,
+            "sum_flow": self.sum_flow,
+            "mean_flow": self.mean_flow,
+            "sum_completion": self.sum_completion,
+            "master_utilisation": self.master_utilisation,
+            "mean_queue_wait": self.mean_queue_wait,
+        }
+
+    def value(self, objective: Objective) -> float:
+        """The metric corresponding to one of the paper's objectives."""
+        if objective is Objective.MAKESPAN:
+            return self.makespan
+        if objective is Objective.MAX_FLOW:
+            return self.max_flow
+        if objective is Objective.SUM_FLOW:
+            return self.sum_flow
+        raise SchedulingError(f"unknown objective {objective}")
+
+
+def evaluate(schedule: Schedule) -> ScheduleMetrics:
+    """Compute every metric of interest for a schedule."""
+    _require_non_empty(schedule)
+    total = makespan(schedule)
+    comm_busy = float(sum(r.comm_duration for r in schedule))
+    worker_busy: Dict[int, float] = {w.worker_id: 0.0 for w in schedule.platform}
+    for record in schedule:
+        worker_busy[record.worker_id] += record.comp_duration
+    worker_util = {
+        wid: (busy / total if total > 0 else 0.0) for wid, busy in worker_busy.items()
+    }
+    queue_waits = [r.queue_wait for r in schedule]
+    return ScheduleMetrics(
+        n_tasks=len(schedule),
+        makespan=total,
+        max_flow=max_flow(schedule),
+        sum_flow=sum_flow(schedule),
+        mean_flow=mean_flow(schedule),
+        sum_completion=sum_completion(schedule),
+        master_utilisation=comm_busy / total if total > 0 else 0.0,
+        worker_utilisation=worker_util,
+        worker_task_counts=schedule.worker_task_counts(),
+        mean_queue_wait=float(sum(queue_waits) / len(queue_waits)),
+    )

@@ -1,0 +1,144 @@
+"""Execution traces: Gantt intervals, text rendering and export.
+
+The trace module turns a :class:`~repro.core.schedule.Schedule` into
+resource-centric interval lists (one lane for the master's port, one lane per
+worker), which is the natural format for eyeballing the one-port behaviour of
+the heuristics — e.g. verifying that SRPT leaves the port idle while waiting
+for a free slave whereas List Scheduling keeps it saturated.
+
+Nothing here requires matplotlib: the renderer produces plain text so that
+traces can be printed from tests, examples and CI logs.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence
+
+from .schedule import Schedule
+
+__all__ = ["GanttInterval", "GanttChart", "build_gantt", "render_ascii_gantt"]
+
+
+@dataclass(frozen=True)
+class GanttInterval:
+    """One busy interval on one resource lane."""
+
+    resource: str
+    task_id: int
+    start: float
+    end: float
+    kind: str  # "send" or "compute"
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class GanttChart:
+    """A schedule re-expressed as per-resource busy intervals."""
+
+    intervals: List[GanttInterval]
+    horizon: float
+
+    def lanes(self) -> Dict[str, List[GanttInterval]]:
+        """Group intervals by resource lane, each sorted by start time."""
+        grouped: Dict[str, List[GanttInterval]] = {}
+        for interval in self.intervals:
+            grouped.setdefault(interval.resource, []).append(interval)
+        for lane in grouped.values():
+            lane.sort(key=lambda iv: (iv.start, iv.end))
+        return grouped
+
+    def busy_time(self, resource: str) -> float:
+        """Total busy time of one resource lane."""
+        return sum(iv.duration for iv in self.intervals if iv.resource == resource)
+
+    def to_csv(self) -> str:
+        """Serialise the intervals as CSV text."""
+        buffer = io.StringIO()
+        writer = csv.writer(buffer)
+        writer.writerow(["resource", "task_id", "start", "end", "kind"])
+        for interval in sorted(self.intervals, key=lambda iv: (iv.resource, iv.start)):
+            writer.writerow(
+                [interval.resource, interval.task_id, interval.start, interval.end, interval.kind]
+            )
+        return buffer.getvalue()
+
+    def to_json(self) -> str:
+        """Serialise the chart as a JSON document."""
+        return json.dumps(
+            {
+                "horizon": self.horizon,
+                "intervals": [asdict(iv) for iv in self.intervals],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+
+def build_gantt(schedule: Schedule) -> GanttChart:
+    """Build the per-resource interval view of a schedule."""
+    intervals: List[GanttInterval] = []
+    horizon = 0.0
+    for record in schedule:
+        intervals.append(
+            GanttInterval(
+                resource="master",
+                task_id=record.task_id,
+                start=record.send_start,
+                end=record.send_end,
+                kind="send",
+            )
+        )
+        worker_name = schedule.platform[record.worker_id].name
+        intervals.append(
+            GanttInterval(
+                resource=worker_name,
+                task_id=record.task_id,
+                start=record.compute_start,
+                end=record.compute_end,
+                kind="compute",
+            )
+        )
+        horizon = max(horizon, record.compute_end)
+    return GanttChart(intervals=intervals, horizon=horizon)
+
+
+def render_ascii_gantt(
+    schedule: Schedule,
+    width: int = 72,
+    lane_order: Optional[Sequence[str]] = None,
+) -> str:
+    """Render a schedule as a fixed-width text Gantt chart.
+
+    Each lane is a row; time is quantised into ``width`` columns.  Busy cells
+    show the last digit of the task id, idle cells a dot.  The master lane is
+    always rendered first so the one-port serialisation is visible at a
+    glance.
+    """
+    chart = build_gantt(schedule)
+    lanes = chart.lanes()
+    if chart.horizon <= 0:
+        return "(empty schedule)"
+    if lane_order is None:
+        worker_names = [w.name for w in schedule.platform]
+        lane_order = ["master"] + worker_names
+
+    scale = width / chart.horizon
+    name_width = max(len(name) for name in lane_order)
+    lines = [f"time horizon: 0 .. {chart.horizon:g}  ({width} columns)"]
+    for name in lane_order:
+        cells = ["."] * width
+        for interval in lanes.get(name, []):
+            start_col = int(interval.start * scale)
+            end_col = max(int(interval.end * scale), start_col + 1)
+            label = str(interval.task_id % 10)
+            for col in range(start_col, min(end_col, width)):
+                cells[col] = label
+        lines.append(f"{name.rjust(name_width)} |{''.join(cells)}|")
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch library-specific failures without swallowing unrelated
+programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` package."""
+
+
+class PlatformError(ReproError):
+    """Raised when a platform description is invalid (e.g. non-positive
+    communication or computation times, empty worker list)."""
+
+
+class TaskError(ReproError):
+    """Raised when a task or task set is invalid (e.g. negative release
+    time, non-positive size factors, duplicate identifiers)."""
+
+
+class SchedulingError(ReproError):
+    """Base class for errors occurring while running a schedule."""
+
+
+class InvalidDecisionError(SchedulingError):
+    """Raised when an on-line scheduler returns a decision the engine cannot
+    honour (unknown task, unknown worker, assignment of an already-assigned
+    task, wake-up in the past, ...)."""
+
+
+class SchedulingStalledError(SchedulingError):
+    """Raised when the scheduler refuses to assign any of the remaining tasks
+    and no future event can change its view (the simulation would otherwise
+    hang forever)."""
+
+
+class InfeasibleScheduleError(SchedulingError):
+    """Raised by the schedule validator when a schedule violates the one-port
+    model, the release dates, or the per-worker execution constraints."""
+
+
+class CalibrationError(ReproError):
+    """Raised when the simulated-cluster calibration protocol cannot reach the
+    requested heterogeneity level."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment configuration is inconsistent."""

@@ -1,0 +1,45 @@
+"""Experiment harness regenerating every table and figure of the paper."""
+
+from .config import METRIC_NAMES, CampaignConfig, Figure1Config, Figure2Config
+from .figure1 import (
+    FIGURE1_PANELS,
+    Figure1Result,
+    PanelResult,
+    run_figure1,
+    run_figure1_panel,
+)
+from .figure2 import Figure2Result, run_figure2
+from .reporting import (
+    format_figure1,
+    format_figure2,
+    format_metric_table,
+    format_panel,
+    format_table1_result,
+)
+from .sweep import HeterogeneitySweepResult, SweepPoint, run_heterogeneity_sweep
+from .table1 import Table1Result, Table1Row, run_table1
+
+__all__ = [
+    "CampaignConfig",
+    "FIGURE1_PANELS",
+    "Figure1Config",
+    "Figure1Result",
+    "Figure2Config",
+    "Figure2Result",
+    "HeterogeneitySweepResult",
+    "METRIC_NAMES",
+    "PanelResult",
+    "SweepPoint",
+    "Table1Result",
+    "Table1Row",
+    "format_figure1",
+    "format_figure2",
+    "format_metric_table",
+    "format_panel",
+    "format_table1_result",
+    "run_figure1",
+    "run_figure1_panel",
+    "run_figure2",
+    "run_heterogeneity_sweep",
+    "run_table1",
+]

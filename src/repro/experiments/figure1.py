@@ -1,0 +1,165 @@
+"""Figure 1 — comparison of the seven heuristics on four platform classes.
+
+Section 4.3 compares SRPT, LS, RR, RRC, RRP, SLJF and SLJFWC on ten random
+platforms of each class (fully homogeneous, communication-homogeneous,
+computation-homogeneous, fully heterogeneous), sending one thousand tasks per
+run and plotting, for every heuristic, the makespan, sum-flow and max-flow
+normalised to SRPT.
+
+:func:`run_figure1_panel` regenerates one diagram (one platform class);
+:func:`run_figure1` regenerates all four.  The qualitative findings the paper
+reports — and which EXPERIMENTS.md records against our measurements — are:
+
+* Figure 1(a): on homogeneous platforms every static heuristic performs the
+  same and beats SRPT;
+* Figure 1(b): on communication-homogeneous platforms RRC (which ignores the
+  processor heterogeneity) is clearly worse; SLJF has the best makespan;
+* Figure 1(c): on computation-homogeneous platforms RRP and SLJF (which
+  ignore the link heterogeneity) are clearly worse; SLJFWC has the best
+  makespan;
+* Figure 1(d): on fully heterogeneous platforms LS and SLJFWC lead, and
+  communication-aware heuristics beat communication-oblivious ones.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..analysis.normalize import normalise_to_reference
+from ..core.platform import Platform, PlatformKind
+from ..exceptions import ExperimentError
+from ..mpi_sim.runner import run_cluster_campaign, run_heuristics_on_platform
+from ..workloads.platforms import PlatformSpec, random_platform
+from ..workloads.release import all_at_zero, as_rng
+from .config import METRIC_NAMES, Figure1Config
+
+__all__ = ["PanelResult", "Figure1Result", "run_figure1_panel", "run_figure1", "FIGURE1_PANELS"]
+
+#: The four panels of Figure 1 in the paper's order.
+FIGURE1_PANELS: Dict[str, PlatformKind] = {
+    "1a": PlatformKind.HOMOGENEOUS,
+    "1b": PlatformKind.COMMUNICATION_HOMOGENEOUS,
+    "1c": PlatformKind.COMPUTATION_HOMOGENEOUS,
+    "1d": PlatformKind.HETEROGENEOUS,
+}
+
+
+@dataclass(frozen=True)
+class PanelResult:
+    """Result of one Figure 1 diagram."""
+
+    kind: PlatformKind
+    config: Figure1Config
+    #: Raw metrics: one entry per platform, each ``{heuristic: {metric: value}}``.
+    per_platform: List[Dict[str, Dict[str, float]]]
+    #: Per-platform metrics normalised to the reference heuristic.
+    per_platform_normalised: List[Dict[str, Dict[str, float]]]
+    #: Mean (over platforms) of the normalised metrics — the bar heights of
+    #: the published figure.
+    mean_normalised: Dict[str, Dict[str, float]]
+
+    def bar(self, heuristic: str, metric: str) -> float:
+        """One bar height of the diagram."""
+        try:
+            return self.mean_normalised[heuristic][metric]
+        except KeyError as exc:
+            raise ExperimentError(
+                f"unknown heuristic/metric pair ({heuristic!r}, {metric!r})"
+            ) from exc
+
+    def ranking(self, metric: str) -> List[str]:
+        """Heuristics from best (smallest normalised metric) to worst."""
+        return sorted(self.mean_normalised, key=lambda name: self.mean_normalised[name][metric])
+
+
+@dataclass(frozen=True)
+class Figure1Result:
+    """All four panels."""
+
+    panels: Dict[str, PanelResult]
+
+    def panel(self, name: str) -> PanelResult:
+        try:
+            return self.panels[name]
+        except KeyError as exc:
+            raise ExperimentError(
+                f"unknown panel {name!r}; available: {sorted(self.panels)}"
+            ) from exc
+
+
+def _mean_nested(
+    rows: Sequence[Mapping[str, Mapping[str, float]]],
+) -> Dict[str, Dict[str, float]]:
+    """Average a list of ``{heuristic: {metric: value}}`` mappings."""
+    if not rows:
+        raise ExperimentError("nothing to average")
+    heuristics = list(rows[0])
+    result: Dict[str, Dict[str, float]] = {}
+    for heuristic in heuristics:
+        result[heuristic] = {
+            metric: float(np.mean([row[heuristic][metric] for row in rows]))
+            for metric in rows[0][heuristic]
+        }
+    return result
+
+
+def run_figure1_panel(config: Figure1Config) -> PanelResult:
+    """Run one Figure 1 diagram (one platform class)."""
+    rng = as_rng(config.seed)
+    tasks = all_at_zero(config.n_tasks)
+    per_platform: List[Dict[str, Dict[str, float]]] = []
+    for _ in range(config.n_platforms):
+        if config.use_cluster:
+            run = run_cluster_campaign(
+                config.kind,
+                n_tasks=config.n_tasks,
+                heuristics=config.heuristics,
+                rng=rng,
+                tasks=tasks,
+            )
+            metrics = run.metrics
+        else:
+            spec = PlatformSpec(
+                kind=config.kind,
+                n_workers=config.n_workers,
+                comm_range=config.comm_range,
+                comp_range=config.comp_range,
+            )
+            platform = random_platform(spec, rng)
+            metrics = run_heuristics_on_platform(platform, tasks, config.heuristics)
+        per_platform.append(metrics)
+
+    per_platform_normalised = [
+        normalise_to_reference(metrics, config.reference) for metrics in per_platform
+    ]
+    mean_normalised = _mean_nested(per_platform_normalised)
+    return PanelResult(
+        kind=config.kind,
+        config=config,
+        per_platform=per_platform,
+        per_platform_normalised=per_platform_normalised,
+        mean_normalised=mean_normalised,
+    )
+
+
+def run_figure1(
+    base_config: Optional[Figure1Config] = None,
+    panels: Optional[Sequence[str]] = None,
+) -> Figure1Result:
+    """Run all (or a subset of) the four Figure 1 diagrams."""
+    from dataclasses import replace
+
+    config = base_config if base_config is not None else Figure1Config()
+    selected = list(panels) if panels is not None else list(FIGURE1_PANELS)
+    results: Dict[str, PanelResult] = {}
+    for name in selected:
+        if name not in FIGURE1_PANELS:
+            raise ExperimentError(
+                f"unknown Figure 1 panel {name!r}; available: {sorted(FIGURE1_PANELS)}"
+            )
+        panel_config = replace(config, kind=FIGURE1_PANELS[name])
+        results[name] = run_figure1_panel(panel_config)
+    return Figure1Result(panels=results)

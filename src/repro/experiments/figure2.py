@@ -1,0 +1,91 @@
+"""Figure 2 — robustness of the heuristics to task-size perturbations.
+
+Section 4.3: the size of the matrix sent at each round is randomly changed
+by a factor of up to 10 %, and the figure plots, for every heuristic, the
+average makespan / sum-flow / max-flow obtained with perturbed tasks divided
+by the value obtained on the same platform with identical tasks.  The paper
+concludes that the heuristics "are quite robust for makespan minimisation
+problems, but not as much for sum-flow or max-flow problems".
+
+:func:`run_figure2` reproduces the experiment: for each random fully
+heterogeneous platform it runs every heuristic once on the identical-task
+workload and ``n_perturbations`` times on independently perturbed workloads,
+then averages the per-heuristic ratios over platforms and perturbations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..analysis.normalize import ratio_to_baseline
+from ..exceptions import ExperimentError
+from ..mpi_sim.runner import run_heuristics_on_platform
+from ..workloads.perturbation import perturb_task_sizes
+from ..workloads.platforms import PlatformSpec, random_platform
+from ..workloads.release import all_at_zero, as_rng
+from .config import Figure2Config
+
+__all__ = ["Figure2Result", "run_figure2"]
+
+
+@dataclass(frozen=True)
+class Figure2Result:
+    """Result of the robustness experiment."""
+
+    config: Figure2Config
+    #: One entry per (platform, perturbation): ``{heuristic: {metric: ratio}}``.
+    per_run_ratios: List[Dict[str, Dict[str, float]]]
+    #: Mean ratio per heuristic and metric — the bar heights of Figure 2.
+    mean_ratios: Dict[str, Dict[str, float]]
+
+    def bar(self, heuristic: str, metric: str) -> float:
+        try:
+            return self.mean_ratios[heuristic][metric]
+        except KeyError as exc:
+            raise ExperimentError(
+                f"unknown heuristic/metric pair ({heuristic!r}, {metric!r})"
+            ) from exc
+
+    def degradation(self, metric: str) -> Dict[str, float]:
+        """Relative degradation (ratio − 1) per heuristic for one metric."""
+        return {name: values[metric] - 1.0 for name, values in self.mean_ratios.items()}
+
+
+def run_figure2(config: Optional[Figure2Config] = None) -> Figure2Result:
+    """Run the Figure 2 robustness campaign."""
+    cfg = config if config is not None else Figure2Config()
+    rng = as_rng(cfg.seed)
+    baseline_tasks = all_at_zero(cfg.n_tasks)
+    per_run_ratios: List[Dict[str, Dict[str, float]]] = []
+
+    for _ in range(cfg.n_platforms):
+        spec = PlatformSpec(
+            kind=cfg.kind,
+            n_workers=cfg.n_workers,
+            comm_range=cfg.comm_range,
+            comp_range=cfg.comp_range,
+        )
+        platform = random_platform(spec, rng)
+        baseline = run_heuristics_on_platform(platform, baseline_tasks, cfg.heuristics)
+        for _ in range(cfg.n_perturbations):
+            perturbed_tasks = perturb_task_sizes(
+                baseline_tasks, amplitude=cfg.perturbation_amplitude, rng=rng
+            )
+            perturbed = run_heuristics_on_platform(
+                platform, perturbed_tasks, cfg.heuristics
+            )
+            per_run_ratios.append(ratio_to_baseline(perturbed, baseline))
+
+    heuristics = list(per_run_ratios[0])
+    mean_ratios: Dict[str, Dict[str, float]] = {}
+    for heuristic in heuristics:
+        mean_ratios[heuristic] = {
+            metric: float(
+                np.mean([run[heuristic][metric] for run in per_run_ratios])
+            )
+            for metric in per_run_ratios[0][heuristic]
+        }
+    return Figure2Result(config=cfg, per_run_ratios=per_run_ratios, mean_ratios=mean_ratios)

@@ -1,0 +1,28 @@
+"""Simulated MPI cluster substrate (substitute for the paper's testbed).
+
+The package models the five-machine Ethernet testbed of Section 4.2 —
+machines, network cards, switch, matrix-determinant tasks and the
+calibration protocol — and feeds the resulting platforms to the same engine
+and heuristics as the theoretical experiments.
+"""
+
+from .calibration import CalibrationResult, calibrate, calibrate_to_kind
+from .cluster import SimulatedCluster, SlaveMachine, default_cluster
+from .matrix_tasks import MatrixTaskModel
+from .network import EthernetSwitch, NetworkLink
+from .runner import ClusterRunResult, run_cluster_campaign, run_heuristics_on_platform
+
+__all__ = [
+    "CalibrationResult",
+    "ClusterRunResult",
+    "EthernetSwitch",
+    "MatrixTaskModel",
+    "NetworkLink",
+    "SimulatedCluster",
+    "SlaveMachine",
+    "calibrate",
+    "calibrate_to_kind",
+    "default_cluster",
+    "run_cluster_campaign",
+    "run_heuristics_on_platform",
+]

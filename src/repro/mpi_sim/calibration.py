@@ -1,0 +1,175 @@
+"""Calibration protocol of Section 4.2.
+
+The paper dials the heterogeneity of its physical testbed as follows:
+
+    "in a first step, we send one single matrix to each slave one after
+    another, and we calculate the time needed to send this matrix and to
+    calculate its determinant on each slave.  Thus, we obtain an estimation
+    of c_i and p_i [...].  Then we determine the number of times this matrix
+    should be sent (nc_i) and the number of times its determinant should be
+    calculated (np_i) on each slave in order to modify the platform
+    characteristics so as to reach the desired level of heterogeneity.
+    Then, a task (matrix) assigned on P_i will actually be sent nc_i times
+    to P_i (so that c_i ← nc_i·c_i), and its determinant will actually be
+    calculated np_i times by P_i (so that p_i ← np_i·p_i)."
+
+:func:`calibrate` reproduces that protocol on the simulated cluster: probe
+every slave once (with measurement noise), pick integer multipliers that
+bring the *measured* values as close as possible to the requested targets,
+and return both the multipliers and the *effective* platform (computed from
+the true, noise-free machine parameters — the analogue of what the physical
+platform would actually deliver during the campaign).
+
+Because the multipliers are integers, the effective platform only
+approximates the targets; :attr:`CalibrationResult.relative_error` reports
+how far off each parameter ends up, and the calibration raises when the
+request is unreachable (target smaller than a single probe).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.platform import Platform, PlatformKind
+from ..exceptions import CalibrationError
+from ..workloads.platforms import PAPER_COMM_RANGE, PAPER_COMP_RANGE
+from ..workloads.release import RngLike, as_rng
+from .cluster import SimulatedCluster
+from .matrix_tasks import MatrixTaskModel
+
+__all__ = ["CalibrationResult", "calibrate", "calibrate_to_kind"]
+
+#: Default probe matrix: small enough that its cost on the slowest machine
+#: and link stays below the paper's target ranges (so an integer number of
+#: repetitions can reach any target), large enough for the timings to
+#: dominate the latency term.
+DEFAULT_PROBE = MatrixTaskModel(matrix_size=200)
+
+#: Maximum integer multiplier the protocol will use; a request needing more
+#: repetitions than this is considered unreachable.
+MAX_MULTIPLIER = 10_000
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of one calibration run."""
+
+    #: Probe measurements (with noise), one per slave.
+    measured_comm: Tuple[float, ...]
+    measured_comp: Tuple[float, ...]
+    #: Integer repetition counts nc_i / np_i chosen by the protocol.
+    comm_multipliers: Tuple[int, ...]
+    comp_multipliers: Tuple[int, ...]
+    #: Targets the protocol aimed for.
+    target_comm: Tuple[float, ...]
+    target_comp: Tuple[float, ...]
+    #: The platform the heuristics actually experience (true machine
+    #: parameters times the integer multipliers).
+    platform: Platform
+
+    @property
+    def relative_error(self) -> Dict[str, List[float]]:
+        """Relative deviation of the effective platform from the targets."""
+        comm_err = [
+            abs(c - t) / t for c, t in zip(self.platform.comm_times, self.target_comm)
+        ]
+        comp_err = [
+            abs(p - t) / t for p, t in zip(self.platform.comp_times, self.target_comp)
+        ]
+        return {"comm": comm_err, "comp": comp_err}
+
+    @property
+    def max_relative_error(self) -> float:
+        errors = self.relative_error
+        return max(errors["comm"] + errors["comp"])
+
+
+def _pick_multiplier(measured: float, target: float, what: str, slave: int) -> int:
+    """Integer repetition count bringing ``measured·n`` closest to ``target``."""
+    if target <= 0:
+        raise CalibrationError(f"{what} target for slave {slave} must be positive")
+    ratio = target / measured
+    if ratio > MAX_MULTIPLIER:
+        raise CalibrationError(
+            f"{what} target {target:g} for slave {slave} needs more than "
+            f"{MAX_MULTIPLIER} repetitions of the probe"
+        )
+    best = max(1, int(round(ratio)))
+    # Rounding may not be optimal in relative terms; check the neighbours.
+    candidates = [n for n in (best - 1, best, best + 1) if n >= 1]
+    return min(candidates, key=lambda n: abs(n * measured - target))
+
+
+def calibrate(
+    cluster: SimulatedCluster,
+    target_comm: Sequence[float],
+    target_comp: Sequence[float],
+    probe: MatrixTaskModel = DEFAULT_PROBE,
+    rng: RngLike = None,
+) -> CalibrationResult:
+    """Run the Section 4.2 calibration protocol towards explicit targets."""
+    if len(target_comm) != len(cluster) or len(target_comp) != len(cluster):
+        raise CalibrationError("targets must have one entry per slave")
+    generator = as_rng(rng)
+    measured_comm, measured_comp = cluster.probe_all(probe, generator)
+
+    comm_multipliers = [
+        _pick_multiplier(measured_comm[j], target_comm[j], "communication", j)
+        for j in range(len(cluster))
+    ]
+    comp_multipliers = [
+        _pick_multiplier(measured_comp[j], target_comp[j], "computation", j)
+        for j in range(len(cluster))
+    ]
+    platform = cluster.effective_platform(probe, comm_multipliers, comp_multipliers)
+    return CalibrationResult(
+        measured_comm=tuple(measured_comm),
+        measured_comp=tuple(measured_comp),
+        comm_multipliers=tuple(comm_multipliers),
+        comp_multipliers=tuple(comp_multipliers),
+        target_comm=tuple(float(t) for t in target_comm),
+        target_comp=tuple(float(t) for t in target_comp),
+        platform=platform,
+    )
+
+
+def calibrate_to_kind(
+    cluster: SimulatedCluster,
+    kind: PlatformKind,
+    probe: MatrixTaskModel = DEFAULT_PROBE,
+    rng: RngLike = None,
+    comm_range: Tuple[float, float] = PAPER_COMM_RANGE,
+    comp_range: Tuple[float, float] = PAPER_COMP_RANGE,
+) -> CalibrationResult:
+    """Calibrate the cluster towards a random platform of the given class.
+
+    This is the combination the Figure 1 campaign uses: draw target
+    ``(c_i, p_i)`` values from the paper's ranges with the homogeneity
+    property of the requested diagram, then reach them with the nc/np trick.
+
+    Targets are drawn no smaller than the probe's own cost on each slave
+    (otherwise no integer number of repetitions could reach them); in
+    practice the probe is far cheaper than the paper's ranges.
+    """
+    generator = as_rng(rng)
+    n = len(cluster)
+    measured_comm, measured_comp = cluster.probe_all(probe, generator)
+
+    def draw(value_range: Tuple[float, float], floor: List[float], homogeneous: bool) -> List[float]:
+        low, high = value_range
+        low = max(low, max(floor))
+        if low > high:
+            raise CalibrationError(
+                f"probe cost {max(floor):g} exceeds the requested range {value_range}"
+            )
+        if homogeneous:
+            value = float(generator.uniform(low, high))
+            return [value] * n
+        return [float(v) for v in generator.uniform(low, high, size=n)]
+
+    comm_homog = kind in (PlatformKind.HOMOGENEOUS, PlatformKind.COMMUNICATION_HOMOGENEOUS)
+    comp_homog = kind in (PlatformKind.HOMOGENEOUS, PlatformKind.COMPUTATION_HOMOGENEOUS)
+    target_comm = draw(comm_range, measured_comm, comm_homog)
+    target_comp = draw(comp_range, measured_comp, comp_homog)
+    return calibrate(cluster, target_comm, target_comp, probe=probe, rng=generator)

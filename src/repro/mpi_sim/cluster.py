@@ -1,0 +1,213 @@
+"""Simulated heterogeneous cluster (the substitute for the paper's testbed).
+
+The experiments of Section 4 ran on "a small heterogeneous master-slave
+platform with five different computers, connected to each other by a fast
+Ethernet switch (100 Mbit/s)", the machines differing "both in terms of CPU
+speed and in the amount of available memory", the link heterogeneity coming
+"mainly from the differences between the network cards".
+
+We do not have that hardware, so this module models it: a
+:class:`SlaveMachine` carries a CPU speed (flops/s), a network card and a
+measurement-noise level; a :class:`SimulatedCluster` groups the machines
+behind an :class:`~repro.mpi_sim.network.EthernetSwitch`, converts a
+matrix-task workload into per-slave ``(c_j, p_j)`` pairs via the
+:class:`~repro.mpi_sim.matrix_tasks.MatrixTaskModel`, and exposes the noisy
+probe measurements that the calibration protocol of Section 4.2 relies on.
+The resulting :class:`~repro.core.platform.Platform` is then scheduled with
+the very same engine and heuristics as the theoretical experiments — which is
+the point of the substitution: only the origin of the numbers changes, not
+the scheduling code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.platform import Platform
+from ..exceptions import PlatformError
+from ..workloads.release import RngLike, as_rng
+from .matrix_tasks import MatrixTaskModel
+from .network import EthernetSwitch, NetworkLink
+
+__all__ = ["SlaveMachine", "SimulatedCluster", "default_cluster"]
+
+
+@dataclass(frozen=True)
+class SlaveMachine:
+    """One slave computer of the cluster."""
+
+    name: str
+    #: Sustained floating-point rate of the machine (flops per second).
+    cpu_flops: float
+    #: Bytes per second sustained by the machine's network card.
+    nic_bandwidth: float
+    #: One-way message latency towards this machine (seconds).
+    latency: float = 1e-4
+    #: Relative standard deviation of probe measurements (models OS jitter,
+    #: cache effects, ... during the calibration step).
+    measurement_noise: float = 0.02
+    #: Available memory in bytes; probes larger than this are rejected, which
+    #: mirrors the paper's remark that the machines differ in memory size.
+    memory_bytes: float = 1e9
+
+    def __post_init__(self) -> None:
+        if self.cpu_flops <= 0:
+            raise PlatformError(f"cpu_flops must be positive, got {self.cpu_flops}")
+        if self.nic_bandwidth <= 0:
+            raise PlatformError(f"nic_bandwidth must be positive, got {self.nic_bandwidth}")
+        if self.latency < 0:
+            raise PlatformError(f"latency must be non-negative, got {self.latency}")
+        if not 0.0 <= self.measurement_noise < 1.0:
+            raise PlatformError(
+                f"measurement_noise must be in [0, 1), got {self.measurement_noise}"
+            )
+        if self.memory_bytes <= 0:
+            raise PlatformError(f"memory_bytes must be positive, got {self.memory_bytes}")
+
+
+class SimulatedCluster:
+    """A master plus a set of :class:`SlaveMachine` behind one switch."""
+
+    def __init__(
+        self,
+        machines: Sequence[SlaveMachine],
+        switch: Optional[EthernetSwitch] = None,
+    ) -> None:
+        if not machines:
+            raise PlatformError("a cluster needs at least one slave machine")
+        self.machines: List[SlaveMachine] = list(machines)
+        if switch is None:
+            switch = EthernetSwitch(
+                [NetworkLink(m.nic_bandwidth, m.latency) for m in self.machines]
+            )
+        if len(switch) != len(self.machines):
+            raise PlatformError("switch link count does not match the machine count")
+        self.switch = switch
+
+    def __len__(self) -> int:
+        return len(self.machines)
+
+    # -- ground truth ---------------------------------------------------------
+    def true_comm_time(self, slave_index: int, task_model: MatrixTaskModel) -> float:
+        """Exact transfer time of one task towards one slave."""
+        return self.switch.transfer_time(slave_index, task_model.message_bytes)
+
+    def true_comp_time(self, slave_index: int, task_model: MatrixTaskModel) -> float:
+        """Exact computation time of one task on one slave."""
+        machine = self._machine(slave_index)
+        if task_model.message_bytes > machine.memory_bytes:
+            raise PlatformError(
+                f"matrix of {task_model.message_bytes:.0f} bytes does not fit in "
+                f"{machine.name}'s memory ({machine.memory_bytes:.0f} bytes)"
+            )
+        return task_model.comp_time(machine.cpu_flops)
+
+    def base_platform(self, task_model: MatrixTaskModel) -> Platform:
+        """The exact (noise-free) platform induced by one task model."""
+        comm = [self.true_comm_time(j, task_model) for j in range(len(self))]
+        comp = [self.true_comp_time(j, task_model) for j in range(len(self))]
+        names = [m.name for m in self.machines]
+        return Platform.from_times(comm, comp, names=names)
+
+    # -- probing (what the calibration step of Section 4.2 measures) ----------
+    def probe(
+        self, slave_index: int, task_model: MatrixTaskModel, rng: RngLike = None
+    ) -> Tuple[float, float]:
+        """Send one probe matrix to a slave and time the transfer and the
+        determinant computation, with measurement noise."""
+        generator = as_rng(rng)
+        machine = self._machine(slave_index)
+        comm = self.true_comm_time(slave_index, task_model)
+        comp = self.true_comp_time(slave_index, task_model)
+        if machine.measurement_noise > 0.0:
+            comm *= float(1.0 + generator.normal(0.0, machine.measurement_noise))
+            comp *= float(1.0 + generator.normal(0.0, machine.measurement_noise))
+        # A timing measurement can never be negative; clamp pathological draws.
+        return max(comm, 1e-12), max(comp, 1e-12)
+
+    def probe_all(
+        self, task_model: MatrixTaskModel, rng: RngLike = None
+    ) -> Tuple[List[float], List[float]]:
+        """Probe every slave one after the other (as the paper does)."""
+        generator = as_rng(rng)
+        comm_times, comp_times = [], []
+        for index in range(len(self)):
+            comm, comp = self.probe(index, task_model, generator)
+            comm_times.append(comm)
+            comp_times.append(comp)
+        return comm_times, comp_times
+
+    # -- scaled platforms (the nc_i / np_i trick of Section 4.2) --------------
+    def effective_platform(
+        self,
+        task_model: MatrixTaskModel,
+        comm_multipliers: Sequence[int],
+        comp_multipliers: Sequence[int],
+    ) -> Platform:
+        """Platform obtained when a task is sent ``nc_i`` times and computed
+        ``np_i`` times on slave ``P_i`` (``c_i ← nc_i·c_i``, ``p_i ← np_i·p_i``)."""
+        if len(comm_multipliers) != len(self) or len(comp_multipliers) != len(self):
+            raise PlatformError("multiplier lists must have one entry per slave")
+        for value in list(comm_multipliers) + list(comp_multipliers):
+            if int(value) != value or value < 1:
+                raise PlatformError("multipliers must be integers >= 1")
+        comm = [
+            self.true_comm_time(j, task_model) * comm_multipliers[j]
+            for j in range(len(self))
+        ]
+        comp = [
+            self.true_comp_time(j, task_model) * comp_multipliers[j]
+            for j in range(len(self))
+        ]
+        names = [m.name for m in self.machines]
+        return Platform.from_times(comm, comp, names=names)
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "n_slaves": len(self),
+            "switch": self.switch.describe(),
+            "machines": [
+                {
+                    "name": m.name,
+                    "cpu_flops": m.cpu_flops,
+                    "nic_bandwidth": m.nic_bandwidth,
+                    "latency": m.latency,
+                }
+                for m in self.machines
+            ],
+        }
+
+    def _machine(self, slave_index: int) -> SlaveMachine:
+        try:
+            return self.machines[slave_index]
+        except IndexError as exc:
+            raise PlatformError(f"unknown slave index {slave_index}") from exc
+
+
+def default_cluster(rng: RngLike = None) -> SimulatedCluster:
+    """A five-machine heterogeneous cluster in the spirit of the paper's testbed.
+
+    CPU speeds span roughly a 5× range (old desktops vs. a recent machine in
+    2005 terms) and NIC bandwidths a 10× range (10 Mbit/s cards up to the
+    switch's 100 Mbit/s).
+    """
+    generator = as_rng(rng)
+    base_flops = [2.0e8, 4.5e8, 1.0e9, 6.0e8, 3.0e8]
+    base_bandwidth = [1.2e6, 4.0e6, 1.2e7, 8.0e6, 2.5e6]
+    machines = []
+    for index, (flops, bandwidth) in enumerate(zip(base_flops, base_bandwidth)):
+        jitter = float(generator.uniform(0.9, 1.1))
+        machines.append(
+            SlaveMachine(
+                name=f"node{index + 1}",
+                cpu_flops=flops * jitter,
+                nic_bandwidth=bandwidth * jitter,
+                latency=float(generator.uniform(5e-5, 2e-4)),
+                measurement_noise=0.02,
+                memory_bytes=float(generator.choice([2.56e8, 5.12e8, 1.0e9])),
+            )
+        )
+    return SimulatedCluster(machines)

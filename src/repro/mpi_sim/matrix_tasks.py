@@ -1,0 +1,98 @@
+"""Matrix-determinant task model.
+
+In the paper's experiment "each task will be a matrix, and each slave will
+have to calculate the determinant of the matrices that it will receive".
+The matrix is only a vehicle for a tunable amount of data and computation,
+so the simulated cluster replaces it with its cost model:
+
+* a dense ``n × n`` matrix of 8-byte floats occupies ``8 n²`` bytes on the
+  wire (plus a small message header);
+* computing its determinant by LU decomposition costs roughly ``2/3 n³``
+  floating-point operations.
+
+The two numbers feed the network model (transfer time) and the machine model
+(compute time).  The module also provides the inverse mapping — what matrix
+size yields a prescribed communication or computation time — which is what
+the calibration protocol of Section 4.2 needs when it "plays with matrix
+sizes so as to achieve more heterogeneity".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..exceptions import TaskError
+
+__all__ = ["MatrixTaskModel"]
+
+#: Bytes per matrix entry (IEEE 754 double precision).
+_BYTES_PER_ENTRY = 8.0
+
+#: Leading-order flop count of an LU-based determinant of an ``n × n`` matrix.
+_DETERMINANT_FLOP_FACTOR = 2.0 / 3.0
+
+
+@dataclass(frozen=True)
+class MatrixTaskModel:
+    """Cost model for one matrix-determinant task.
+
+    Parameters
+    ----------
+    matrix_size:
+        Matrix dimension ``n``.
+    header_bytes:
+        Fixed per-message overhead (MPI envelope, pickling, ...).
+    """
+
+    matrix_size: int
+    header_bytes: float = 512.0
+
+    def __post_init__(self) -> None:
+        if self.matrix_size <= 0:
+            raise TaskError(f"matrix_size must be positive, got {self.matrix_size}")
+        if self.header_bytes < 0:
+            raise TaskError(f"header_bytes must be non-negative, got {self.header_bytes}")
+
+    @property
+    def message_bytes(self) -> float:
+        """Bytes sent from the master to a slave for one task."""
+        return _BYTES_PER_ENTRY * self.matrix_size ** 2 + self.header_bytes
+
+    @property
+    def flops(self) -> float:
+        """Floating-point operations needed to compute the determinant."""
+        return _DETERMINANT_FLOP_FACTOR * self.matrix_size ** 3
+
+    def comm_time(self, bandwidth: float, latency: float = 0.0) -> float:
+        """Transfer time of one task over a link."""
+        if bandwidth <= 0:
+            raise TaskError(f"bandwidth must be positive, got {bandwidth}")
+        return latency + self.message_bytes / bandwidth
+
+    def comp_time(self, flops_per_second: float) -> float:
+        """Computation time of one task on a machine."""
+        if flops_per_second <= 0:
+            raise TaskError(f"flops_per_second must be positive, got {flops_per_second}")
+        return self.flops / flops_per_second
+
+    # -- inverse mappings (used by calibration) ------------------------------
+    @classmethod
+    def size_for_comp_time(cls, target_time: float, flops_per_second: float) -> int:
+        """Smallest matrix size whose determinant takes at least ``target_time``."""
+        if target_time <= 0 or flops_per_second <= 0:
+            raise TaskError("target_time and flops_per_second must be positive")
+        n = (target_time * flops_per_second / _DETERMINANT_FLOP_FACTOR) ** (1.0 / 3.0)
+        return max(1, int(math.ceil(n)))
+
+    @classmethod
+    def size_for_comm_time(
+        cls, target_time: float, bandwidth: float, latency: float = 0.0,
+        header_bytes: float = 512.0,
+    ) -> int:
+        """Smallest matrix size whose transfer takes at least ``target_time``."""
+        if target_time <= 0 or bandwidth <= 0:
+            raise TaskError("target_time and bandwidth must be positive")
+        payload = max((target_time - latency) * bandwidth - header_bytes, _BYTES_PER_ENTRY)
+        n = math.sqrt(payload / _BYTES_PER_ENTRY)
+        return max(1, int(math.ceil(n)))

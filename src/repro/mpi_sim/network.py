@@ -1,0 +1,93 @@
+"""Network model of the simulated cluster.
+
+The paper's testbed connects five machines to the master through a fast
+Ethernet switch (100 Mbit/s); the heterogeneity of the links "is mainly due
+to the differences between the network cards".  The model used here is the
+classical latency + bandwidth affine cost:
+
+    ``transfer_time(bytes) = latency + bytes / effective_bandwidth``
+
+where the effective bandwidth of a link is the minimum of the switch
+bandwidth and the NIC bandwidth of the slave.  The one-port serialisation of
+the master's sends is enforced by the engine, not here — the network module
+only answers "how long does one message take on this link".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..exceptions import PlatformError
+
+__all__ = ["NetworkLink", "EthernetSwitch"]
+
+#: 100 Mbit/s expressed in bytes per second, the paper's switch speed.
+FAST_ETHERNET_BYTES_PER_S = 100e6 / 8.0
+
+
+@dataclass(frozen=True)
+class NetworkLink:
+    """A point-to-point link between the master and one slave."""
+
+    #: Bytes per second sustained by the slave's network card.
+    nic_bandwidth: float
+    #: One-way latency in seconds (switch + card + software stack).
+    latency: float = 1e-4
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.nic_bandwidth) or self.nic_bandwidth <= 0:
+            raise PlatformError(f"nic_bandwidth must be positive, got {self.nic_bandwidth}")
+        if not math.isfinite(self.latency) or self.latency < 0:
+            raise PlatformError(f"latency must be non-negative, got {self.latency}")
+
+
+class EthernetSwitch:
+    """A single switch connecting the master to every slave.
+
+    The switch caps the bandwidth of every link; per-link heterogeneity comes
+    from the slaves' network cards, matching the description of Section 4.2.
+    """
+
+    def __init__(
+        self,
+        links: Sequence[NetworkLink],
+        switch_bandwidth: float = FAST_ETHERNET_BYTES_PER_S,
+    ) -> None:
+        if not links:
+            raise PlatformError("a switch needs at least one link")
+        if switch_bandwidth <= 0:
+            raise PlatformError(f"switch_bandwidth must be positive, got {switch_bandwidth}")
+        self.links: List[NetworkLink] = list(links)
+        self.switch_bandwidth = switch_bandwidth
+
+    def __len__(self) -> int:
+        return len(self.links)
+
+    def effective_bandwidth(self, slave_index: int) -> float:
+        """Bytes per second the master can push towards one slave."""
+        link = self._link(slave_index)
+        return min(link.nic_bandwidth, self.switch_bandwidth)
+
+    def transfer_time(self, slave_index: int, message_bytes: float) -> float:
+        """Time to transfer one message to one slave."""
+        if message_bytes < 0:
+            raise PlatformError(f"message size must be non-negative, got {message_bytes}")
+        link = self._link(slave_index)
+        return link.latency + message_bytes / self.effective_bandwidth(slave_index)
+
+    def describe(self) -> Dict[str, object]:
+        return {
+            "switch_bandwidth": self.switch_bandwidth,
+            "links": [
+                {"nic_bandwidth": link.nic_bandwidth, "latency": link.latency}
+                for link in self.links
+            ],
+        }
+
+    def _link(self, slave_index: int) -> NetworkLink:
+        try:
+            return self.links[slave_index]
+        except IndexError as exc:
+            raise PlatformError(f"unknown slave index {slave_index}") from exc

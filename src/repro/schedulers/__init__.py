@@ -1,0 +1,89 @@
+"""On-line scheduling policies and off-line references.
+
+The seven heuristics compared in Section 4 of the paper are registered under
+their paper names (``SRPT``, ``LS``, ``RR``, ``RRC``, ``RRP``, ``SLJF``,
+``SLJFWC``) and can be instantiated with :func:`create_scheduler`.
+"""
+
+from .base import (
+    OnlineScheduler,
+    PAPER_HEURISTICS,
+    available_schedulers,
+    create_scheduler,
+    register_scheduler,
+)
+from .list_scheduling import GreedyCommunicationScheduler, ListScheduler
+from .offline import (
+    MAX_BRUTE_FORCE_TASKS,
+    OfflineSolution,
+    OrderedAssignmentScheduler,
+    enumerate_schedule_values,
+    optimal_schedule,
+    optimal_value,
+    optimal_values,
+)
+from .random_policy import (
+    FixedAssignmentScheduler,
+    RandomScheduler,
+    SingleWorkerScheduler,
+)
+from .round_robin import (
+    RoundRobin,
+    RoundRobinComm,
+    RoundRobinComp,
+    StrictRoundRobin,
+    StrictRoundRobinComm,
+    StrictRoundRobinComp,
+)
+from .sljf import SLJFScheduler, SLJFWCScheduler, backward_plan
+from .srpt import SRPTScheduler
+
+__all__ = [
+    "FixedAssignmentScheduler",
+    "GreedyCommunicationScheduler",
+    "ListScheduler",
+    "MAX_BRUTE_FORCE_TASKS",
+    "OfflineSolution",
+    "OnlineScheduler",
+    "OrderedAssignmentScheduler",
+    "PAPER_HEURISTICS",
+    "RandomScheduler",
+    "RoundRobin",
+    "RoundRobinComm",
+    "RoundRobinComp",
+    "SLJFScheduler",
+    "SLJFWCScheduler",
+    "SRPTScheduler",
+    "SingleWorkerScheduler",
+    "StrictRoundRobin",
+    "StrictRoundRobinComm",
+    "StrictRoundRobinComp",
+    "available_schedulers",
+    "backward_plan",
+    "create_scheduler",
+    "enumerate_schedule_values",
+    "optimal_schedule",
+    "optimal_value",
+    "optimal_values",
+    "register_scheduler",
+]
+
+
+def _register_defaults() -> None:
+    """Register the built-in policies under their paper names."""
+    register_scheduler("SRPT", SRPTScheduler)
+    register_scheduler("LS", ListScheduler)
+    register_scheduler("RR", RoundRobin)
+    register_scheduler("RRC", RoundRobinComm)
+    register_scheduler("RRP", RoundRobinComp)
+    register_scheduler("SLJF", SLJFScheduler)
+    register_scheduler("SLJFWC", SLJFWCScheduler)
+    register_scheduler("RR-STRICT", StrictRoundRobin)
+    register_scheduler("RRC-STRICT", StrictRoundRobinComm)
+    register_scheduler("RRP-STRICT", StrictRoundRobinComp)
+    register_scheduler("RANDOM", RandomScheduler)
+    register_scheduler("GREEDY-COMM", GreedyCommunicationScheduler)
+    register_scheduler("SINGLE", SingleWorkerScheduler)
+
+
+_register_defaults()

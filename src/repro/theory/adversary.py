@@ -1,0 +1,365 @@
+"""Adversary-game machinery for the lower-bound theorems.
+
+Every theorem of Section 3 follows the same template (described in
+Section 3.1): an adversary builds a tiny platform, releases a first task,
+observes at a checkpoint time what the candidate deterministic algorithm has
+done with it, and reacts by releasing more tasks (or stopping) so that the
+algorithm's committed decisions cost it at least the stated factor over the
+off-line optimum.
+
+Two complementary tools are provided:
+
+:class:`GameLeaf` and :func:`leaf_ratio`
+    The *certificate* view.  A proof partitions all possible algorithm
+    behaviours into finitely many classes; each class, together with the
+    adversary's reaction, is a *leaf*: a complete problem instance plus the
+    commitments the algorithm has already made.  For a leaf we compute
+
+    * the best objective value *any* algorithm could still reach given its
+      commitments (constrained enumeration over send orders and
+      assignments, exactly like the off-line brute force but honouring the
+      commitments), and
+    * the unconstrained off-line optimum of the leaf's instance.
+
+    The minimum of the ratios over all leaves is the game value — the lower
+    bound on the competitive ratio of every deterministic algorithm.  Each
+    theorem module builds its leaves from the corresponding proof.
+
+:class:`ReactiveAdversary` and :func:`run_reactive_game`
+    The *black-box* view.  The same adversary is expressed as a reactive
+    release process that observes an actual scheduler (one of the Section 4
+    heuristics, say) through the regular engine and extends the instance at
+    each checkpoint.  Because the scheduler is deterministic and on-line, its
+    behaviour before a checkpoint cannot depend on tasks released later, so
+    the game can be replayed by re-simulating on the growing instance.  The
+    resulting ratio must be at least the theorem's bound for *every*
+    deterministic scheduler — the verification module uses this to check the
+    implementation of both the adversaries and the heuristics.
+"""
+
+from __future__ import annotations
+
+import abc
+import itertools
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.engine import simulate
+from ..core.metrics import Objective, objective_value
+from ..core.platform import Platform
+from ..core.task import TaskSet
+from ..exceptions import ReproError, SchedulingError
+from ..schedulers.base import OnlineScheduler
+from ..schedulers.offline import optimal_value
+
+__all__ = [
+    "Commitment",
+    "GameLeaf",
+    "constrained_best_value",
+    "leaf_best_value",
+    "leaf_optimal_value",
+    "leaf_ratio",
+    "game_value",
+    "GameResult",
+    "ReactiveAdversary",
+    "ReactiveGameOutcome",
+    "run_reactive_game",
+]
+
+#: Tolerance used when deciding whether a send started "by" a checkpoint.
+_OBS_ATOL = 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Certificate view
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Commitment:
+    """A decision the algorithm has already (partially) committed to.
+
+    ``worker_id`` is ``None`` when the only commitment is a delay — e.g. the
+    proofs' branch "the algorithm has not begun sending the task by the
+    checkpoint", which is encoded as a lower bound on the task's send time.
+    """
+
+    task_id: int
+    worker_id: Optional[int] = None
+    min_send_time: float = 0.0
+
+
+@dataclass(frozen=True)
+class GameLeaf:
+    """One behaviour class of the adversary game.
+
+    Attributes
+    ----------
+    description:
+        Human-readable summary (mirrors the case labels of the proof).
+    releases:
+        Release dates of the complete instance the adversary ends up issuing
+        on this branch; task ``k`` has identifier ``k``.
+    prefix:
+        Commitments with a ``worker_id``, in the order the algorithm sent the
+        corresponding tasks.  These tasks are sent before every uncommitted
+        task.
+    delays:
+        Extra minimum send times keyed by task id (commitments without an
+        assignment).
+    """
+
+    description: str
+    releases: Tuple[float, ...]
+    prefix: Tuple[Commitment, ...] = ()
+    delays: Mapping[int, float] = field(default_factory=dict)
+
+    def task_set(self) -> TaskSet:
+        return TaskSet.from_releases(list(self.releases))
+
+
+def _eager_objectives(
+    platform: Platform,
+    tasks: TaskSet,
+    order: Sequence[int],
+    assignment: Mapping[int, int],
+    min_send: Mapping[int, float],
+) -> Tuple[float, float, float]:
+    """(makespan, max-flow, sum-flow) of the eager schedule for a fixed order,
+    assignment and per-task earliest send times."""
+    channel = 0.0
+    ready = [0.0] * platform.n_workers
+    makespan = 0.0
+    max_flow = 0.0
+    sum_flow = 0.0
+    for task_id in order:
+        task = tasks.by_id(task_id)
+        worker = platform[assignment[task_id]]
+        send_start = max(channel, task.release, min_send.get(task_id, 0.0))
+        send_end = send_start + worker.comm_time(task.comm_factor)
+        channel = send_end
+        completion = max(ready[worker.worker_id], send_end) + worker.comp_time(
+            task.comp_factor
+        )
+        ready[worker.worker_id] = completion
+        makespan = max(makespan, completion)
+        max_flow = max(max_flow, completion - task.release)
+        sum_flow += completion - task.release
+    return makespan, max_flow, sum_flow
+
+
+def constrained_best_value(
+    platform: Platform,
+    tasks: TaskSet,
+    objective: Objective,
+    prefix: Sequence[Commitment] = (),
+    delays: Optional[Mapping[int, float]] = None,
+) -> float:
+    """Best objective value reachable given the commitments.
+
+    The enumeration covers every send order that starts with the committed
+    prefix (in that order) and every assignment that extends the committed
+    ones; every send happens as early as its constraints allow (eager
+    sending dominates for all three objectives once the order and the
+    assignment are fixed).
+    """
+    delays = dict(delays or {})
+    prefix_ids = [c.task_id for c in prefix]
+    if len(set(prefix_ids)) != len(prefix_ids):
+        raise SchedulingError("a task appears twice in the committed prefix")
+    fixed_assignment: Dict[int, int] = {}
+    for commitment in prefix:
+        if commitment.worker_id is None:
+            raise SchedulingError(
+                "prefix commitments must carry a worker; use `delays` for "
+                "pure delay commitments"
+            )
+        fixed_assignment[commitment.task_id] = commitment.worker_id
+        if commitment.min_send_time > 0.0:
+            delays[commitment.task_id] = max(
+                delays.get(commitment.task_id, 0.0), commitment.min_send_time
+            )
+
+    free_ids = [tid for tid in tasks.task_ids if tid not in fixed_assignment]
+    worker_ids = list(range(platform.n_workers))
+    best = math.inf
+    for free_order in itertools.permutations(free_ids):
+        order = prefix_ids + list(free_order)
+        for combo in itertools.product(worker_ids, repeat=len(free_ids)):
+            assignment = dict(fixed_assignment)
+            assignment.update(dict(zip(free_order, combo)))
+            mk, mf, sf = _eager_objectives(platform, tasks, order, assignment, delays)
+            value = {
+                Objective.MAKESPAN: mk,
+                Objective.MAX_FLOW: mf,
+                Objective.SUM_FLOW: sf,
+            }[objective]
+            best = min(best, value)
+    return best
+
+
+def leaf_best_value(platform: Platform, leaf: GameLeaf, objective: Objective) -> float:
+    """Best objective value the algorithm can still reach on a leaf."""
+    return constrained_best_value(
+        platform, leaf.task_set(), objective, prefix=leaf.prefix, delays=leaf.delays
+    )
+
+
+def leaf_optimal_value(
+    platform: Platform, leaf: GameLeaf, objective: Objective
+) -> float:
+    """Unconstrained off-line optimum of the leaf's instance."""
+    return optimal_value(platform, leaf.task_set(), objective)
+
+
+def leaf_ratio(platform: Platform, leaf: GameLeaf, objective: Objective) -> float:
+    """Performance ratio forced on any algorithm falling into this leaf."""
+    best = leaf_best_value(platform, leaf, objective)
+    opt = leaf_optimal_value(platform, leaf, objective)
+    if opt <= 0:
+        raise ReproError(f"leaf {leaf.description!r} has non-positive optimum {opt}")
+    return best / opt
+
+
+@dataclass(frozen=True)
+class GameResult:
+    """The evaluated certificate of one theorem."""
+
+    theorem: int
+    objective: Objective
+    platform: Platform
+    #: ratio per leaf, keyed by the leaf description
+    leaf_ratios: Mapping[str, float]
+    #: min over leaves = the lower bound certified by this game instance
+    value: float
+    #: the closed-form bound the theorem states (the game value converges to
+    #: it as the instance parameter goes to its limit, or equals it exactly)
+    stated_bound: float
+
+    @property
+    def gap(self) -> float:
+        """stated bound minus certified value (non-negative, → 0 in the limit)."""
+        return self.stated_bound - self.value
+
+
+def game_value(
+    platform: Platform,
+    leaves: Sequence[GameLeaf],
+    objective: Objective,
+) -> Tuple[float, Dict[str, float]]:
+    """Evaluate a certificate: per-leaf ratios and their minimum.
+
+    Every deterministic algorithm falls into exactly one leaf (the leaves
+    partition the behaviour space), so the minimum of the leaf ratios lower
+    bounds the competitive ratio of every deterministic algorithm.
+    """
+    if not leaves:
+        raise ReproError("a game needs at least one leaf")
+    ratios = {leaf.description: leaf_ratio(platform, leaf, objective) for leaf in leaves}
+    return min(ratios.values()), ratios
+
+
+# ---------------------------------------------------------------------------
+# Black-box (reactive) view
+# ---------------------------------------------------------------------------
+class ReactiveAdversary(abc.ABC):
+    """An adversary that observes a real scheduler and reacts at checkpoints.
+
+    Subclasses provide the platform, the objective, the initial release
+    dates, the checkpoint times and the reaction rule.  The observation made
+    at a checkpoint ``t`` is the mapping ``task_id -> worker_id`` of every
+    task whose send started at or before ``t``.
+    """
+
+    #: theorem number (for reports)
+    theorem: int = 0
+
+    @property
+    @abc.abstractmethod
+    def platform(self) -> Platform:
+        """The adversary's platform."""
+
+    @property
+    @abc.abstractmethod
+    def objective(self) -> Objective:
+        """The objective the adversary attacks."""
+
+    @abc.abstractmethod
+    def initial_releases(self) -> List[float]:
+        """Release dates issued before the algorithm starts."""
+
+    @abc.abstractmethod
+    def checkpoints(self) -> List[float]:
+        """Times at which the adversary observes the algorithm."""
+
+    @abc.abstractmethod
+    def respond(
+        self, checkpoint_index: int, observation: Dict[int, int]
+    ) -> List[float]:
+        """New release dates issued after the given checkpoint.
+
+        Returning an empty list terminates the instance (no further
+        checkpoints are evaluated).
+        """
+
+
+@dataclass(frozen=True)
+class ReactiveGameOutcome:
+    """Result of playing a reactive adversary against one scheduler."""
+
+    scheduler_name: str
+    theorem: int
+    objective: Objective
+    releases: Tuple[float, ...]
+    algorithm_value: float
+    optimal_value: float
+
+    @property
+    def ratio(self) -> float:
+        return self.algorithm_value / self.optimal_value
+
+
+def run_reactive_game(
+    adversary: ReactiveAdversary,
+    scheduler_factory: Callable[[], OnlineScheduler],
+) -> ReactiveGameOutcome:
+    """Play the adversary against a deterministic scheduler.
+
+    The scheduler must be deterministic and must not use knowledge of the
+    total task count (the adversary grows the instance between checkpoints);
+    the factory is called once per (re-)simulation so no state leaks across
+    replays.
+    """
+    platform = adversary.platform
+    releases = list(adversary.initial_releases())
+    for index, checkpoint in enumerate(adversary.checkpoints()):
+        tasks = TaskSet.from_releases(releases)
+        schedule = simulate(scheduler_factory(), platform, tasks)
+        observation = {
+            record.task_id: record.worker_id
+            for record in schedule
+            if record.send_start <= checkpoint + _OBS_ATOL
+        }
+        new_releases = adversary.respond(index, observation)
+        if not new_releases:
+            break
+        for release in new_releases:
+            if release < checkpoint - _OBS_ATOL:
+                raise ReproError(
+                    "adversary attempted to release a task in the past "
+                    f"({release} < checkpoint {checkpoint})"
+                )
+        releases.extend(new_releases)
+
+    final_tasks = TaskSet.from_releases(releases)
+    scheduler = scheduler_factory()
+    final_schedule = simulate(scheduler, platform, final_tasks)
+    value = objective_value(final_schedule, adversary.objective)
+    opt = optimal_value(platform, final_tasks, adversary.objective)
+    return ReactiveGameOutcome(
+        scheduler_name=scheduler.name,
+        theorem=adversary.theorem,
+        objective=adversary.objective,
+        releases=tuple(final_tasks.releases),
+        algorithm_value=value,
+        optimal_value=opt,
+    )

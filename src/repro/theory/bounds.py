@@ -1,0 +1,117 @@
+"""Closed-form lower bounds of Table 1.
+
+The paper proves nine lower bounds on the competitive ratio of any
+deterministic on-line algorithm — one per (platform type, objective) pair.
+This module provides the exact closed forms, a lookup helper and the
+rendering of Table 1, so that the adversary-game machinery in the rest of
+:mod:`repro.theory` can be checked against the published values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.metrics import Objective
+from ..core.platform import PlatformKind
+from ..exceptions import ReproError
+
+__all__ = ["LowerBound", "TABLE_1", "lower_bound", "table1_rows", "format_table1"]
+
+
+@dataclass(frozen=True)
+class LowerBound:
+    """One entry of Table 1."""
+
+    platform_kind: PlatformKind
+    objective: Objective
+    #: Exact numerical value of the bound.
+    value: float
+    #: Human-readable closed form, e.g. ``"5/4"`` or ``"(1+sqrt(3))/2"``.
+    formula: str
+    #: Theorem number in the paper.
+    theorem: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Theorem {self.theorem}: {self.formula} = {self.value:.6f}"
+
+
+def _bounds() -> Dict[Tuple[PlatformKind, Objective], LowerBound]:
+    sqrt2 = math.sqrt(2.0)
+    sqrt3 = math.sqrt(3.0)
+    sqrt7 = math.sqrt(7.0)
+    sqrt13 = math.sqrt(13.0)
+    entries = [
+        # Communication-homogeneous platforms (Section 3.2).
+        LowerBound(PlatformKind.COMMUNICATION_HOMOGENEOUS, Objective.MAKESPAN,
+                   5.0 / 4.0, "5/4", 1),
+        LowerBound(PlatformKind.COMMUNICATION_HOMOGENEOUS, Objective.SUM_FLOW,
+                   (2.0 + 4.0 * sqrt2) / 7.0, "(2+4*sqrt(2))/7", 2),
+        LowerBound(PlatformKind.COMMUNICATION_HOMOGENEOUS, Objective.MAX_FLOW,
+                   (5.0 - sqrt7) / 2.0, "(5-sqrt(7))/2", 3),
+        # Computation-homogeneous platforms (Section 3.3).
+        LowerBound(PlatformKind.COMPUTATION_HOMOGENEOUS, Objective.MAKESPAN,
+                   6.0 / 5.0, "6/5", 4),
+        LowerBound(PlatformKind.COMPUTATION_HOMOGENEOUS, Objective.MAX_FLOW,
+                   5.0 / 4.0, "5/4", 5),
+        LowerBound(PlatformKind.COMPUTATION_HOMOGENEOUS, Objective.SUM_FLOW,
+                   23.0 / 22.0, "23/22", 6),
+        # Fully heterogeneous platforms (Section 3.4).
+        LowerBound(PlatformKind.HETEROGENEOUS, Objective.MAKESPAN,
+                   (1.0 + sqrt3) / 2.0, "(1+sqrt(3))/2", 7),
+        LowerBound(PlatformKind.HETEROGENEOUS, Objective.SUM_FLOW,
+                   (sqrt13 - 1.0) / 2.0, "(sqrt(13)-1)/2", 8),
+        LowerBound(PlatformKind.HETEROGENEOUS, Objective.MAX_FLOW,
+                   sqrt2, "sqrt(2)", 9),
+    ]
+    return {(entry.platform_kind, entry.objective): entry for entry in entries}
+
+
+#: The nine bounds of Table 1, keyed by (platform kind, objective).
+TABLE_1: Dict[Tuple[PlatformKind, Objective], LowerBound] = _bounds()
+
+
+def lower_bound(platform_kind: PlatformKind, objective: Objective) -> LowerBound:
+    """The Table 1 entry for a platform class and an objective.
+
+    Fully homogeneous platforms admit an optimal on-line algorithm (the FIFO
+    list-scheduling strategy recalled in the introduction), so their bound is
+    the trivial 1.0 and is not part of Table 1; asking for it raises.
+    """
+    if platform_kind is PlatformKind.HOMOGENEOUS:
+        raise ReproError(
+            "fully homogeneous platforms have an optimal on-line algorithm; "
+            "Table 1 only covers heterogeneous platform classes"
+        )
+    return TABLE_1[(platform_kind, objective)]
+
+
+def table1_rows() -> List[Dict[str, object]]:
+    """Table 1 as a list of row dictionaries (one row per platform class)."""
+    rows = []
+    for kind in (
+        PlatformKind.COMMUNICATION_HOMOGENEOUS,
+        PlatformKind.COMPUTATION_HOMOGENEOUS,
+        PlatformKind.HETEROGENEOUS,
+    ):
+        row: Dict[str, object] = {"platform": str(kind)}
+        for objective in (Objective.MAKESPAN, Objective.MAX_FLOW, Objective.SUM_FLOW):
+            entry = TABLE_1[(kind, objective)]
+            row[str(objective)] = entry.value
+            row[f"{objective} formula"] = entry.formula
+        rows.append(row)
+    return rows
+
+
+def format_table1(precision: int = 3) -> str:
+    """Render Table 1 as fixed-width text (used by the CLI and the reports)."""
+    objectives = (Objective.MAKESPAN, Objective.MAX_FLOW, Objective.SUM_FLOW)
+    header = f"{'Platform type':<28}" + "".join(f"{str(o):>14}" for o in objectives)
+    lines = [header, "-" * len(header)]
+    for row in table1_rows():
+        cells = "".join(
+            f"{row[str(o)]:>14.{precision}f}" for o in objectives
+        )
+        lines.append(f"{row['platform']:<28}" + cells)
+    return "\n".join(lines)

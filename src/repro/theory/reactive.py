@@ -1,0 +1,137 @@
+"""Concrete reactive-adversary building blocks shared by the nine theorems.
+
+All nine proofs follow one of two shapes:
+
+* **single checkpoint** — release one task at time 0, observe at a checkpoint
+  ``τ`` whether the algorithm committed it to the "forced" worker (the only
+  choice compatible with the claimed ratio); if so, flood it with a batch of
+  extra tasks released at ``τ``; otherwise stop (Theorems 3–9);
+* **two checkpoints** — same first phase, then observe a second decision at a
+  later checkpoint and stop or release one final task depending on it
+  (Theorems 1 and 2).
+
+These two shapes are captured by :class:`SingleCheckpointAdversary` and
+:class:`TwoCheckpointAdversary`; the theorem modules simply instantiate them
+with the platforms and times taken from the proofs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..core.metrics import Objective
+from ..core.platform import Platform
+from .adversary import ReactiveAdversary
+
+__all__ = ["SingleCheckpointAdversary", "TwoCheckpointAdversary"]
+
+
+class SingleCheckpointAdversary(ReactiveAdversary):
+    """Release one task, observe once, flood if the forced choice was made.
+
+    Parameters
+    ----------
+    platform, objective, theorem:
+        Identification of the game.
+    checkpoint:
+        Observation time ``τ``.
+    forced_worker:
+        The worker the proof forces the first task onto (always ``P_1`` in
+        the paper, i.e. worker id 0).
+    flood_releases:
+        Release dates of the tasks issued when the forced choice is observed
+        (all equal to ``τ`` in the proofs).
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        objective: Objective,
+        theorem: int,
+        checkpoint: float,
+        flood_releases: Sequence[float],
+        forced_worker: int = 0,
+    ) -> None:
+        self._platform = platform
+        self._objective = objective
+        self.theorem = theorem
+        self.checkpoint = checkpoint
+        self.forced_worker = forced_worker
+        self.flood_releases = list(flood_releases)
+
+    @property
+    def platform(self) -> Platform:
+        return self._platform
+
+    @property
+    def objective(self) -> Objective:
+        return self._objective
+
+    def initial_releases(self) -> List[float]:
+        return [0.0]
+
+    def checkpoints(self) -> List[float]:
+        return [self.checkpoint]
+
+    def respond(self, checkpoint_index: int, observation: Dict[int, int]) -> List[float]:
+        if checkpoint_index != 0:  # pragma: no cover - single checkpoint only
+            return []
+        if observation.get(0) == self.forced_worker:
+            return list(self.flood_releases)
+        # Task not sent yet, or sent to a slow/expensive worker: the instance
+        # as released already forces a ratio above the bound.
+        return []
+
+
+class TwoCheckpointAdversary(ReactiveAdversary):
+    """The Theorem 1/2 shape: two observations, one extra task each time.
+
+    Phase 1: if the first task was committed to ``forced_worker`` by the
+    first checkpoint, release a second task at that checkpoint.
+    Phase 2: observe the second task at the second checkpoint; if it was sent
+    to ``second_stop_worker`` the adversary stops, otherwise (sent to the
+    forced worker, or not sent at all) it releases one final task at the
+    second checkpoint.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        objective: Objective,
+        theorem: int,
+        first_checkpoint: float,
+        second_checkpoint: float,
+        forced_worker: int = 0,
+        second_stop_worker: int = 1,
+    ) -> None:
+        self._platform = platform
+        self._objective = objective
+        self.theorem = theorem
+        self.first_checkpoint = first_checkpoint
+        self.second_checkpoint = second_checkpoint
+        self.forced_worker = forced_worker
+        self.second_stop_worker = second_stop_worker
+
+    @property
+    def platform(self) -> Platform:
+        return self._platform
+
+    @property
+    def objective(self) -> Objective:
+        return self._objective
+
+    def initial_releases(self) -> List[float]:
+        return [0.0]
+
+    def checkpoints(self) -> List[float]:
+        return [self.first_checkpoint, self.second_checkpoint]
+
+    def respond(self, checkpoint_index: int, observation: Dict[int, int]) -> List[float]:
+        if checkpoint_index == 0:
+            if observation.get(0) == self.forced_worker:
+                return [self.first_checkpoint]
+            return []
+        # Second checkpoint: task 1 exists in the instance at this point.
+        if observation.get(1) == self.second_stop_worker:
+            return []
+        return [self.second_checkpoint]

@@ -1,0 +1,254 @@
+"""Theorems 1–3: communication-homogeneous platforms (Section 3.2).
+
+The links are identical (``c_j = c``) and the heterogeneity comes from the
+processor speeds.  The three theorems bound the competitive ratio of any
+deterministic on-line algorithm for the makespan (5/4), the sum-flow
+((2+4√2)/7) and the max-flow ((5−√7)/2).
+
+Each ``theoremN_*`` family exposes:
+
+* ``theoremN_platform()`` — the adversary's platform, taken verbatim from
+  the proof;
+* ``theoremN_leaves()`` — the proof's case analysis as :class:`GameLeaf`
+  objects (one leaf per behaviour class of the candidate algorithm);
+* ``theoremN_certificate()`` — the evaluated game: per-leaf ratios, their
+  minimum (the certified lower bound) and the stated closed form;
+* ``theoremN_adversary()`` — the same adversary as a reactive release
+  process that can be played against any concrete scheduler.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..core.metrics import Objective
+from ..core.platform import Platform, PlatformKind
+from .adversary import Commitment, GameLeaf, GameResult, ReactiveAdversary, game_value
+from .bounds import lower_bound
+from .reactive import SingleCheckpointAdversary, TwoCheckpointAdversary
+
+__all__ = [
+    "theorem1_platform",
+    "theorem1_leaves",
+    "theorem1_certificate",
+    "theorem1_adversary",
+    "theorem2_platform",
+    "theorem2_leaves",
+    "theorem2_certificate",
+    "theorem2_adversary",
+    "theorem3_platform",
+    "theorem3_leaves",
+    "theorem3_certificate",
+    "theorem3_adversary",
+]
+
+
+# ---------------------------------------------------------------------------
+# Theorem 1 — makespan, bound 5/4
+# ---------------------------------------------------------------------------
+def theorem1_platform() -> Platform:
+    """Two slaves with ``p_1 = 3``, ``p_2 = 7`` and ``c = 1``."""
+    return Platform.from_times(comm_times=[1.0, 1.0], comp_times=[3.0, 7.0])
+
+
+def theorem1_leaves() -> List[GameLeaf]:
+    """The five behaviour classes of the Theorem 1 proof.
+
+    ``c = 1`` so the checkpoints are ``t1 = 1`` and ``t2 = 2``.
+    """
+    c = 1.0
+    return [
+        GameLeaf(
+            description="task i not sent by t1=c (adversary stops)",
+            releases=(0.0,),
+            delays={0: c},
+        ),
+        GameLeaf(
+            description="task i sent to P2 (adversary stops)",
+            releases=(0.0,),
+            prefix=(Commitment(0, worker_id=1),),
+        ),
+        GameLeaf(
+            description="i on P1; j sent to P2 by t2 (adversary stops)",
+            releases=(0.0, c),
+            prefix=(Commitment(0, worker_id=0), Commitment(1, worker_id=1)),
+        ),
+        GameLeaf(
+            description="i on P1; j on P1 by t2; adversary releases k at t2",
+            releases=(0.0, c, 2 * c),
+            prefix=(Commitment(0, worker_id=0), Commitment(1, worker_id=0)),
+        ),
+        GameLeaf(
+            description="i on P1; j not sent by t2; adversary releases k at t2",
+            releases=(0.0, c, 2 * c),
+            prefix=(Commitment(0, worker_id=0),),
+            delays={1: 2 * c},
+        ),
+    ]
+
+
+def theorem1_certificate() -> GameResult:
+    """Evaluate the Theorem 1 game; its value is exactly 5/4."""
+    platform = theorem1_platform()
+    objective = Objective.MAKESPAN
+    value, ratios = game_value(platform, theorem1_leaves(), objective)
+    return GameResult(
+        theorem=1,
+        objective=objective,
+        platform=platform,
+        leaf_ratios=ratios,
+        value=value,
+        stated_bound=lower_bound(PlatformKind.COMMUNICATION_HOMOGENEOUS, objective).value,
+    )
+
+
+def theorem1_adversary() -> ReactiveAdversary:
+    """The Theorem 1 adversary as a reactive release process."""
+    return TwoCheckpointAdversary(
+        platform=theorem1_platform(),
+        objective=Objective.MAKESPAN,
+        theorem=1,
+        first_checkpoint=1.0,
+        second_checkpoint=2.0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Theorem 2 — sum-flow, bound (2 + 4*sqrt(2)) / 7
+# ---------------------------------------------------------------------------
+def theorem2_platform() -> Platform:
+    """Two slaves with ``p_1 = 2``, ``p_2 = 4*sqrt(2) - 2`` and ``c = 1``."""
+    return Platform.from_times(
+        comm_times=[1.0, 1.0], comp_times=[2.0, 4.0 * math.sqrt(2.0) - 2.0]
+    )
+
+
+def theorem2_leaves() -> List[GameLeaf]:
+    """The five behaviour classes of the Theorem 2 proof (checkpoints 1 and 2)."""
+    c = 1.0
+    return [
+        GameLeaf(
+            description="task i not sent by t1=c (adversary stops)",
+            releases=(0.0,),
+            delays={0: c},
+        ),
+        GameLeaf(
+            description="task i sent to P2 (adversary stops)",
+            releases=(0.0,),
+            prefix=(Commitment(0, worker_id=1),),
+        ),
+        GameLeaf(
+            description="i on P1; j sent to P2 by t2 (adversary stops)",
+            releases=(0.0, c),
+            prefix=(Commitment(0, worker_id=0), Commitment(1, worker_id=1)),
+        ),
+        GameLeaf(
+            description="i on P1; j on P1 by t2; adversary releases k at t2",
+            releases=(0.0, c, 2 * c),
+            prefix=(Commitment(0, worker_id=0), Commitment(1, worker_id=0)),
+        ),
+        GameLeaf(
+            description="i on P1; j not sent by t2; adversary releases k at t2",
+            releases=(0.0, c, 2 * c),
+            prefix=(Commitment(0, worker_id=0),),
+            delays={1: 2 * c},
+        ),
+    ]
+
+
+def theorem2_certificate() -> GameResult:
+    """Evaluate the Theorem 2 game; its value is exactly (2+4√2)/7."""
+    platform = theorem2_platform()
+    objective = Objective.SUM_FLOW
+    value, ratios = game_value(platform, theorem2_leaves(), objective)
+    return GameResult(
+        theorem=2,
+        objective=objective,
+        platform=platform,
+        leaf_ratios=ratios,
+        value=value,
+        stated_bound=lower_bound(PlatformKind.COMMUNICATION_HOMOGENEOUS, objective).value,
+    )
+
+
+def theorem2_adversary() -> ReactiveAdversary:
+    """The Theorem 2 adversary as a reactive release process."""
+    return TwoCheckpointAdversary(
+        platform=theorem2_platform(),
+        objective=Objective.SUM_FLOW,
+        theorem=2,
+        first_checkpoint=1.0,
+        second_checkpoint=2.0,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Theorem 3 — max-flow, bound (5 - sqrt(7)) / 2
+# ---------------------------------------------------------------------------
+def theorem3_platform() -> Platform:
+    """Two slaves with ``p_1 = (2+√7)/3``, ``p_2 = (1+2√7)/3`` and ``c = 1``."""
+    sqrt7 = math.sqrt(7.0)
+    return Platform.from_times(
+        comm_times=[1.0, 1.0],
+        comp_times=[(2.0 + sqrt7) / 3.0, (1.0 + 2.0 * sqrt7) / 3.0],
+    )
+
+
+def theorem3_checkpoint() -> float:
+    """The observation time ``τ = (4 - √7)/3`` of the Theorem 3 proof."""
+    return (4.0 - math.sqrt(7.0)) / 3.0
+
+
+def theorem3_leaves() -> List[GameLeaf]:
+    """The four behaviour classes of the Theorem 3 proof."""
+    tau = theorem3_checkpoint()
+    return [
+        GameLeaf(
+            description="task i not sent by tau (adversary stops)",
+            releases=(0.0,),
+            delays={0: tau},
+        ),
+        GameLeaf(
+            description="task i sent to P2 (adversary stops)",
+            releases=(0.0,),
+            prefix=(Commitment(0, worker_id=1),),
+        ),
+        GameLeaf(
+            description="i on P1; j released at tau and sent to P2",
+            releases=(0.0, tau),
+            prefix=(Commitment(0, worker_id=0), Commitment(1, worker_id=1)),
+        ),
+        GameLeaf(
+            description="i on P1; j released at tau and sent to P1",
+            releases=(0.0, tau),
+            prefix=(Commitment(0, worker_id=0), Commitment(1, worker_id=0)),
+        ),
+    ]
+
+
+def theorem3_certificate() -> GameResult:
+    """Evaluate the Theorem 3 game; its value is exactly (5−√7)/2."""
+    platform = theorem3_platform()
+    objective = Objective.MAX_FLOW
+    value, ratios = game_value(platform, theorem3_leaves(), objective)
+    return GameResult(
+        theorem=3,
+        objective=objective,
+        platform=platform,
+        leaf_ratios=ratios,
+        value=value,
+        stated_bound=lower_bound(PlatformKind.COMMUNICATION_HOMOGENEOUS, objective).value,
+    )
+
+
+def theorem3_adversary() -> ReactiveAdversary:
+    """The Theorem 3 adversary as a reactive release process."""
+    tau = theorem3_checkpoint()
+    return SingleCheckpointAdversary(
+        platform=theorem3_platform(),
+        objective=Objective.MAX_FLOW,
+        theorem=3,
+        checkpoint=tau,
+        flood_releases=[tau],
+    )

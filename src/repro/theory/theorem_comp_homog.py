@@ -1,0 +1,229 @@
+"""Theorems 4–6: computation-homogeneous platforms (Section 3.3).
+
+The processors are identical (``p_j = p``) and the heterogeneity comes from
+the communication links.  The three theorems bound the competitive ratio of
+any deterministic on-line algorithm for the makespan (6/5), the max-flow
+(5/4) and the sum-flow (23/22).
+
+Theorems 4 and 5 are *asymptotic*: their proofs use a platform parameter
+(a large ``p`` for Theorem 4, a vanishing ``c_1 = ε`` for Theorem 5) and the
+game value converges to the stated bound as the parameter goes to its limit.
+The certificate functions therefore accept that parameter; the defaults are
+chosen so that the certified value is within a fraction of a percent of the
+bound while keeping the numbers readable.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.metrics import Objective
+from ..core.platform import Platform, PlatformKind
+from ..exceptions import ReproError
+from .adversary import Commitment, GameLeaf, GameResult, ReactiveAdversary, game_value
+from .bounds import lower_bound
+from .reactive import SingleCheckpointAdversary
+
+__all__ = [
+    "theorem4_platform",
+    "theorem4_leaves",
+    "theorem4_certificate",
+    "theorem4_adversary",
+    "theorem5_platform",
+    "theorem5_leaves",
+    "theorem5_certificate",
+    "theorem5_adversary",
+    "theorem6_platform",
+    "theorem6_leaves",
+    "theorem6_certificate",
+    "theorem6_adversary",
+]
+
+#: Default processor speed for the Theorem 4 instance (the proof requires
+#: ``p >= 5``; the game value is ``3p / (1 + 5p/2)`` which approaches 6/5
+#: from below as ``p`` grows).
+DEFAULT_THEOREM4_P = 2000.0
+
+#: Default ``c_1 = ε`` for the Theorem 5 instance (the game value approaches
+#: 5/4 from below as ``ε`` goes to 0).
+DEFAULT_THEOREM5_EPSILON = 1e-3
+
+
+# ---------------------------------------------------------------------------
+# Theorem 4 — makespan, bound 6/5
+# ---------------------------------------------------------------------------
+def theorem4_platform(p: float = DEFAULT_THEOREM4_P) -> Platform:
+    """Two identical processors (``p_1 = p_2 = p``), ``c_1 = 1``, ``c_2 = p/2``."""
+    if p < 5.0:
+        raise ReproError(f"the Theorem 4 proof requires p >= 5, got {p}")
+    return Platform.from_times(comm_times=[1.0, p / 2.0], comp_times=[p, p])
+
+
+def theorem4_leaves(p: float = DEFAULT_THEOREM4_P) -> List[GameLeaf]:
+    """The three behaviour classes of the Theorem 4 proof (checkpoint ``p/2``)."""
+    tau = p / 2.0
+    return [
+        GameLeaf(
+            description="task i sent to P2 (adversary stops)",
+            releases=(0.0,),
+            prefix=(Commitment(0, worker_id=1),),
+        ),
+        GameLeaf(
+            description="task i not sent by tau=p/2 (adversary stops)",
+            releases=(0.0,),
+            delays={0: tau},
+        ),
+        GameLeaf(
+            description="i on P1; adversary releases j, k, l at tau",
+            releases=(0.0, tau, tau, tau),
+            prefix=(Commitment(0, worker_id=0),),
+        ),
+    ]
+
+
+def theorem4_certificate(p: float = DEFAULT_THEOREM4_P) -> GameResult:
+    """Evaluate the Theorem 4 game; its value approaches 6/5 as ``p`` grows."""
+    platform = theorem4_platform(p)
+    objective = Objective.MAKESPAN
+    value, ratios = game_value(platform, theorem4_leaves(p), objective)
+    return GameResult(
+        theorem=4,
+        objective=objective,
+        platform=platform,
+        leaf_ratios=ratios,
+        value=value,
+        stated_bound=lower_bound(PlatformKind.COMPUTATION_HOMOGENEOUS, objective).value,
+    )
+
+
+def theorem4_adversary(p: float = DEFAULT_THEOREM4_P) -> ReactiveAdversary:
+    """The Theorem 4 adversary as a reactive release process."""
+    tau = p / 2.0
+    return SingleCheckpointAdversary(
+        platform=theorem4_platform(p),
+        objective=Objective.MAKESPAN,
+        theorem=4,
+        checkpoint=tau,
+        flood_releases=[tau, tau, tau],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Theorem 5 — max-flow, bound 5/4
+# ---------------------------------------------------------------------------
+def theorem5_platform(epsilon: float = DEFAULT_THEOREM5_EPSILON) -> Platform:
+    """Two identical processors with ``p = 2c_2 - c_1``, ``c_1 = ε``, ``c_2 = 1``."""
+    if not 0.0 < epsilon < 1.0:
+        raise ReproError(f"epsilon must be in (0, 1), got {epsilon}")
+    p = 2.0 - epsilon
+    return Platform.from_times(comm_times=[epsilon, 1.0], comp_times=[p, p])
+
+
+def theorem5_checkpoint(epsilon: float = DEFAULT_THEOREM5_EPSILON) -> float:
+    """The observation time ``τ = c_2 - c_1`` of the Theorem 5 proof."""
+    return 1.0 - epsilon
+
+
+def theorem5_leaves(epsilon: float = DEFAULT_THEOREM5_EPSILON) -> List[GameLeaf]:
+    """The three behaviour classes of the Theorem 5 proof."""
+    tau = theorem5_checkpoint(epsilon)
+    return [
+        GameLeaf(
+            description="task i sent to P2 (adversary stops)",
+            releases=(0.0,),
+            prefix=(Commitment(0, worker_id=1),),
+        ),
+        GameLeaf(
+            description="task i not sent by tau=c2-c1 (adversary stops)",
+            releases=(0.0,),
+            delays={0: tau},
+        ),
+        GameLeaf(
+            description="i on P1; adversary releases j, k, l at tau",
+            releases=(0.0, tau, tau, tau),
+            prefix=(Commitment(0, worker_id=0),),
+        ),
+    ]
+
+
+def theorem5_certificate(epsilon: float = DEFAULT_THEOREM5_EPSILON) -> GameResult:
+    """Evaluate the Theorem 5 game; its value approaches 5/4 as ``ε → 0``."""
+    platform = theorem5_platform(epsilon)
+    objective = Objective.MAX_FLOW
+    value, ratios = game_value(platform, theorem5_leaves(epsilon), objective)
+    return GameResult(
+        theorem=5,
+        objective=objective,
+        platform=platform,
+        leaf_ratios=ratios,
+        value=value,
+        stated_bound=lower_bound(PlatformKind.COMPUTATION_HOMOGENEOUS, objective).value,
+    )
+
+
+def theorem5_adversary(epsilon: float = DEFAULT_THEOREM5_EPSILON) -> ReactiveAdversary:
+    """The Theorem 5 adversary as a reactive release process."""
+    tau = theorem5_checkpoint(epsilon)
+    return SingleCheckpointAdversary(
+        platform=theorem5_platform(epsilon),
+        objective=Objective.MAX_FLOW,
+        theorem=5,
+        checkpoint=tau,
+        flood_releases=[tau, tau, tau],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Theorem 6 — sum-flow, bound 23/22
+# ---------------------------------------------------------------------------
+def theorem6_platform() -> Platform:
+    """Two identical processors with ``p = 3``, ``c_1 = 1``, ``c_2 = 2``."""
+    return Platform.from_times(comm_times=[1.0, 2.0], comp_times=[3.0, 3.0])
+
+
+def theorem6_leaves() -> List[GameLeaf]:
+    """The three behaviour classes of the Theorem 6 proof (checkpoint ``τ = c_2 = 2``)."""
+    tau = 2.0
+    return [
+        GameLeaf(
+            description="task i sent to P2 (adversary stops)",
+            releases=(0.0,),
+            prefix=(Commitment(0, worker_id=1),),
+        ),
+        GameLeaf(
+            description="task i not sent by tau=c2 (adversary stops)",
+            releases=(0.0,),
+            delays={0: tau},
+        ),
+        GameLeaf(
+            description="i on P1; adversary releases j, k, l at tau",
+            releases=(0.0, tau, tau, tau),
+            prefix=(Commitment(0, worker_id=0),),
+        ),
+    ]
+
+
+def theorem6_certificate() -> GameResult:
+    """Evaluate the Theorem 6 game; its value is exactly 23/22."""
+    platform = theorem6_platform()
+    objective = Objective.SUM_FLOW
+    value, ratios = game_value(platform, theorem6_leaves(), objective)
+    return GameResult(
+        theorem=6,
+        objective=objective,
+        platform=platform,
+        leaf_ratios=ratios,
+        value=value,
+        stated_bound=lower_bound(PlatformKind.COMPUTATION_HOMOGENEOUS, objective).value,
+    )
+
+
+def theorem6_adversary() -> ReactiveAdversary:
+    """The Theorem 6 adversary as a reactive release process."""
+    return SingleCheckpointAdversary(
+        platform=theorem6_platform(),
+        objective=Objective.SUM_FLOW,
+        theorem=6,
+        checkpoint=2.0,
+        flood_releases=[2.0, 2.0, 2.0],
+    )

@@ -1,0 +1,271 @@
+"""Theorems 7–9: fully heterogeneous platforms (Section 3.4).
+
+Both the communication links and the processors are heterogeneous.  The
+three theorems bound the competitive ratio of any deterministic on-line
+algorithm for the makespan ((1+√3)/2), the sum-flow ((√13−1)/2) and the
+max-flow (√2).
+
+All three proofs are asymptotic: the fast processor's speed is a vanishing
+``p_1 = ε`` (Theorems 7 and 9), and Theorem 8 additionally lets the expensive
+link ``c_1`` grow to infinity.  The certificate functions accept those
+parameters; the game values converge to the stated bounds as the parameters
+reach their limits.
+
+The adversary platform always has three slaves: a processor that is extremely
+fast but expensive to reach (``P_1``), and two identical slower processors
+behind cheap links (``P_2``, ``P_3``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+from ..core.metrics import Objective
+from ..core.platform import Platform, PlatformKind
+from ..exceptions import ReproError
+from .adversary import Commitment, GameLeaf, GameResult, ReactiveAdversary, game_value
+from .bounds import lower_bound
+from .reactive import SingleCheckpointAdversary
+
+__all__ = [
+    "theorem7_platform",
+    "theorem7_leaves",
+    "theorem7_certificate",
+    "theorem7_adversary",
+    "theorem8_platform",
+    "theorem8_checkpoint",
+    "theorem8_leaves",
+    "theorem8_certificate",
+    "theorem8_adversary",
+    "theorem9_platform",
+    "theorem9_checkpoint",
+    "theorem9_leaves",
+    "theorem9_certificate",
+    "theorem9_adversary",
+]
+
+#: Default ``p_1 = ε`` used by Theorems 7 and 9 (bound reached as ``ε → 0``).
+DEFAULT_EPSILON = 1e-3
+
+#: Default ``c_1`` used by Theorem 8 (bound reached as ``c_1 → ∞``).
+DEFAULT_THEOREM8_C1 = 400.0
+
+
+def _check_epsilon(epsilon: float) -> None:
+    if not 0.0 < epsilon < 1.0:
+        raise ReproError(f"epsilon must be in (0, 1), got {epsilon}")
+
+
+# ---------------------------------------------------------------------------
+# Theorem 7 — makespan, bound (1 + sqrt(3)) / 2
+# ---------------------------------------------------------------------------
+def theorem7_platform(epsilon: float = DEFAULT_EPSILON) -> Platform:
+    """``p_1 = ε``, ``p_2 = p_3 = 1+√3``, ``c_1 = 1+√3``, ``c_2 = c_3 = 1``."""
+    _check_epsilon(epsilon)
+    s = 1.0 + math.sqrt(3.0)
+    return Platform.from_times(comm_times=[s, 1.0, 1.0], comp_times=[epsilon, s, s])
+
+
+def theorem7_leaves(epsilon: float = DEFAULT_EPSILON) -> List[GameLeaf]:
+    """The three behaviour classes of the Theorem 7 proof (checkpoint 1)."""
+    tau = 1.0
+    return [
+        GameLeaf(
+            description="task i sent to P2 or P3 (adversary stops)",
+            releases=(0.0,),
+            prefix=(Commitment(0, worker_id=1),),
+        ),
+        GameLeaf(
+            description="task i not sent by tau=1 (adversary stops)",
+            releases=(0.0,),
+            delays={0: tau},
+        ),
+        GameLeaf(
+            description="i on P1; adversary releases j, k at tau",
+            releases=(0.0, tau, tau),
+            prefix=(Commitment(0, worker_id=0),),
+        ),
+    ]
+
+
+def theorem7_certificate(epsilon: float = DEFAULT_EPSILON) -> GameResult:
+    """Evaluate the Theorem 7 game; its value approaches (1+√3)/2 as ``ε → 0``."""
+    platform = theorem7_platform(epsilon)
+    objective = Objective.MAKESPAN
+    value, ratios = game_value(platform, theorem7_leaves(epsilon), objective)
+    return GameResult(
+        theorem=7,
+        objective=objective,
+        platform=platform,
+        leaf_ratios=ratios,
+        value=value,
+        stated_bound=lower_bound(PlatformKind.HETEROGENEOUS, objective).value,
+    )
+
+
+def theorem7_adversary(epsilon: float = DEFAULT_EPSILON) -> ReactiveAdversary:
+    """The Theorem 7 adversary as a reactive release process."""
+    return SingleCheckpointAdversary(
+        platform=theorem7_platform(epsilon),
+        objective=Objective.MAKESPAN,
+        theorem=7,
+        checkpoint=1.0,
+        flood_releases=[1.0, 1.0],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Theorem 8 — sum-flow, bound (sqrt(13) - 1) / 2
+# ---------------------------------------------------------------------------
+def theorem8_checkpoint(c1: float = DEFAULT_THEOREM8_C1) -> float:
+    """The observation time ``τ = (√(52c₁²+12c₁+1) − (6c₁+1)) / 4``.
+
+    The proof notes ``τ < c₁`` and ``τ/c₁ → (√13 − 3)/2`` as ``c₁ → ∞``.
+    """
+    return (math.sqrt(52.0 * c1 * c1 + 12.0 * c1 + 1.0) - (6.0 * c1 + 1.0)) / 4.0
+
+
+def theorem8_platform(
+    c1: float = DEFAULT_THEOREM8_C1, epsilon: float = DEFAULT_EPSILON
+) -> Platform:
+    """``p_1 = ε``, ``p_2 = p_3 = τ + c_1 - 1``, ``c_2 = c_3 = 1``."""
+    _check_epsilon(epsilon)
+    tau = theorem8_checkpoint(c1)
+    if tau <= epsilon:
+        raise ReproError(
+            f"c1={c1} is too small: the proof requires tau > epsilon "
+            f"(tau={tau}, epsilon={epsilon})"
+        )
+    p_slow = tau + c1 - 1.0
+    return Platform.from_times(
+        comm_times=[c1, 1.0, 1.0], comp_times=[epsilon, p_slow, p_slow]
+    )
+
+
+def theorem8_leaves(
+    c1: float = DEFAULT_THEOREM8_C1, epsilon: float = DEFAULT_EPSILON
+) -> List[GameLeaf]:
+    """The three behaviour classes of the Theorem 8 proof."""
+    tau = theorem8_checkpoint(c1)
+    return [
+        GameLeaf(
+            description="task i sent to P2 or P3 (adversary stops)",
+            releases=(0.0,),
+            prefix=(Commitment(0, worker_id=1),),
+        ),
+        GameLeaf(
+            description="task i not sent by tau (adversary stops)",
+            releases=(0.0,),
+            delays={0: tau},
+        ),
+        GameLeaf(
+            description="i on P1; adversary releases j, k at tau",
+            releases=(0.0, tau, tau),
+            prefix=(Commitment(0, worker_id=0),),
+        ),
+    ]
+
+
+def theorem8_certificate(
+    c1: float = DEFAULT_THEOREM8_C1, epsilon: float = DEFAULT_EPSILON
+) -> GameResult:
+    """Evaluate the Theorem 8 game; its value approaches (√13−1)/2 as
+    ``c₁ → ∞`` and ``ε → 0``."""
+    platform = theorem8_platform(c1, epsilon)
+    objective = Objective.SUM_FLOW
+    value, ratios = game_value(platform, theorem8_leaves(c1, epsilon), objective)
+    return GameResult(
+        theorem=8,
+        objective=objective,
+        platform=platform,
+        leaf_ratios=ratios,
+        value=value,
+        stated_bound=lower_bound(PlatformKind.HETEROGENEOUS, objective).value,
+    )
+
+
+def theorem8_adversary(
+    c1: float = DEFAULT_THEOREM8_C1, epsilon: float = DEFAULT_EPSILON
+) -> ReactiveAdversary:
+    """The Theorem 8 adversary as a reactive release process."""
+    tau = theorem8_checkpoint(c1)
+    return SingleCheckpointAdversary(
+        platform=theorem8_platform(c1, epsilon),
+        objective=Objective.SUM_FLOW,
+        theorem=8,
+        checkpoint=tau,
+        flood_releases=[tau, tau],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Theorem 9 — max-flow, bound sqrt(2)
+# ---------------------------------------------------------------------------
+def theorem9_c1() -> float:
+    """The fixed ``c_1 = 2(1 + √2)`` of the Theorem 9 proof."""
+    return 2.0 * (1.0 + math.sqrt(2.0))
+
+
+def theorem9_checkpoint() -> float:
+    """The observation time ``τ = (√2 − 1) c_1``."""
+    return (math.sqrt(2.0) - 1.0) * theorem9_c1()
+
+
+def theorem9_platform(epsilon: float = DEFAULT_EPSILON) -> Platform:
+    """``p_1 = ε``, ``p_2 = p_3 = √2·c_1 − 1``, ``c_1 = 2(1+√2)``, ``c_2 = c_3 = 1``."""
+    _check_epsilon(epsilon)
+    c1 = theorem9_c1()
+    p_slow = math.sqrt(2.0) * c1 - 1.0
+    return Platform.from_times(
+        comm_times=[c1, 1.0, 1.0], comp_times=[epsilon, p_slow, p_slow]
+    )
+
+
+def theorem9_leaves(epsilon: float = DEFAULT_EPSILON) -> List[GameLeaf]:
+    """The three behaviour classes of the Theorem 9 proof."""
+    tau = theorem9_checkpoint()
+    return [
+        GameLeaf(
+            description="task i sent to P2 or P3 (adversary stops)",
+            releases=(0.0,),
+            prefix=(Commitment(0, worker_id=1),),
+        ),
+        GameLeaf(
+            description="task i not sent by tau (adversary stops)",
+            releases=(0.0,),
+            delays={0: tau},
+        ),
+        GameLeaf(
+            description="i on P1; adversary releases j, k at tau",
+            releases=(0.0, tau, tau),
+            prefix=(Commitment(0, worker_id=0),),
+        ),
+    ]
+
+
+def theorem9_certificate(epsilon: float = DEFAULT_EPSILON) -> GameResult:
+    """Evaluate the Theorem 9 game; its value approaches √2 as ``ε → 0``."""
+    platform = theorem9_platform(epsilon)
+    objective = Objective.MAX_FLOW
+    value, ratios = game_value(platform, theorem9_leaves(epsilon), objective)
+    return GameResult(
+        theorem=9,
+        objective=objective,
+        platform=platform,
+        leaf_ratios=ratios,
+        value=value,
+        stated_bound=lower_bound(PlatformKind.HETEROGENEOUS, objective).value,
+    )
+
+
+def theorem9_adversary(epsilon: float = DEFAULT_EPSILON) -> ReactiveAdversary:
+    """The Theorem 9 adversary as a reactive release process."""
+    tau = theorem9_checkpoint()
+    return SingleCheckpointAdversary(
+        platform=theorem9_platform(epsilon),
+        objective=Objective.MAX_FLOW,
+        theorem=9,
+        checkpoint=tau,
+        flood_releases=[tau, tau],
+    )

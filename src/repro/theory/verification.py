@@ -1,0 +1,166 @@
+"""Cross-checks between the theory and the implemented heuristics.
+
+Two verification layers are provided on top of the theorem modules:
+
+1. **Certificate verification** — evaluate every theorem's adversary game
+   with the engine-backed constrained enumeration and compare the game value
+   against the closed-form bound of Table 1.  Theorems 1, 2, 3 and 6 are
+   exact; Theorems 4, 5, 7, 8 and 9 are asymptotic and their game value
+   approaches the bound as the instance parameter reaches its limit.
+
+2. **Black-box verification** — play every theorem's reactive adversary
+   against every implemented deterministic heuristic and check that none of
+   them beats the corresponding bound (the theorems say no deterministic
+   algorithm can).  A violation would indicate a bug either in the adversary
+   implementation, in the heuristic, or in the engine itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..core.metrics import Objective
+from ..schedulers.base import OnlineScheduler, create_scheduler
+from .adversary import GameResult, ReactiveAdversary, ReactiveGameOutcome, run_reactive_game
+from . import theorem_comm_homog as comm
+from . import theorem_comp_homog as comp
+from . import theorem_hetero as het
+
+__all__ = [
+    "EXACT_THEOREMS",
+    "ASYMPTOTIC_THEOREMS",
+    "CertificateCheck",
+    "all_certificates",
+    "verify_certificates",
+    "all_adversaries",
+    "verify_heuristics_against_adversaries",
+    "bound_violations",
+    "DEFAULT_VERIFICATION_HEURISTICS",
+]
+
+#: Theorems whose adversary game reaches the stated bound exactly.
+EXACT_THEOREMS = (1, 2, 3, 6)
+
+#: Theorems whose game value only approaches the bound in a parameter limit.
+ASYMPTOTIC_THEOREMS = (4, 5, 7, 8, 9)
+
+#: Deterministic heuristics used for the black-box check.  The list excludes
+#: RANDOM (not deterministic in the relevant sense) and the fixed-assignment
+#: test helpers.
+DEFAULT_VERIFICATION_HEURISTICS = (
+    "SRPT",
+    "LS",
+    "RR",
+    "RRC",
+    "RRP",
+    "SLJF",
+    "SLJFWC",
+    "RR-STRICT",
+    "GREEDY-COMM",
+)
+
+_CERTIFICATE_FACTORIES: Dict[int, Callable[[], GameResult]] = {
+    1: comm.theorem1_certificate,
+    2: comm.theorem2_certificate,
+    3: comm.theorem3_certificate,
+    4: comp.theorem4_certificate,
+    5: comp.theorem5_certificate,
+    6: comp.theorem6_certificate,
+    7: het.theorem7_certificate,
+    8: het.theorem8_certificate,
+    9: het.theorem9_certificate,
+}
+
+_ADVERSARY_FACTORIES: Dict[int, Callable[[], ReactiveAdversary]] = {
+    1: comm.theorem1_adversary,
+    2: comm.theorem2_adversary,
+    3: comm.theorem3_adversary,
+    4: comp.theorem4_adversary,
+    5: comp.theorem5_adversary,
+    6: comp.theorem6_adversary,
+    7: het.theorem7_adversary,
+    8: het.theorem8_adversary,
+    9: het.theorem9_adversary,
+}
+
+
+@dataclass(frozen=True)
+class CertificateCheck:
+    """Comparison of one evaluated game against its stated bound."""
+
+    theorem: int
+    objective: Objective
+    game_value: float
+    stated_bound: float
+    exact: bool
+
+    @property
+    def gap(self) -> float:
+        """``stated_bound - game_value`` (zero for exact theorems, small and
+        positive for asymptotic ones at finite parameters)."""
+        return self.stated_bound - self.game_value
+
+    @property
+    def relative_gap(self) -> float:
+        return self.gap / self.stated_bound
+
+
+def all_certificates() -> List[GameResult]:
+    """Evaluate the nine adversary games with their default parameters."""
+    return [_CERTIFICATE_FACTORIES[theorem]() for theorem in sorted(_CERTIFICATE_FACTORIES)]
+
+
+def verify_certificates() -> List[CertificateCheck]:
+    """Evaluate every game and report how close it is to the stated bound."""
+    checks = []
+    for result in all_certificates():
+        checks.append(
+            CertificateCheck(
+                theorem=result.theorem,
+                objective=result.objective,
+                game_value=result.value,
+                stated_bound=result.stated_bound,
+                exact=result.theorem in EXACT_THEOREMS,
+            )
+        )
+    return checks
+
+
+def all_adversaries() -> List[ReactiveAdversary]:
+    """The nine reactive adversaries with their default parameters."""
+    return [_ADVERSARY_FACTORIES[theorem]() for theorem in sorted(_ADVERSARY_FACTORIES)]
+
+
+def verify_heuristics_against_adversaries(
+    heuristics: Sequence[str] = DEFAULT_VERIFICATION_HEURISTICS,
+    theorems: Optional[Iterable[int]] = None,
+) -> List[ReactiveGameOutcome]:
+    """Play every selected adversary against every selected heuristic."""
+    selected = sorted(theorems) if theorems is not None else sorted(_ADVERSARY_FACTORIES)
+    outcomes: List[ReactiveGameOutcome] = []
+    for theorem in selected:
+        adversary = _ADVERSARY_FACTORIES[theorem]()
+        for name in heuristics:
+            outcome = run_reactive_game(adversary, lambda name=name: create_scheduler(name))
+            outcomes.append(outcome)
+    return outcomes
+
+
+def bound_violations(
+    outcomes: Iterable[ReactiveGameOutcome],
+    tolerance: float = 1e-6,
+) -> List[ReactiveGameOutcome]:
+    """Outcomes whose ratio beats the certified game value — should be empty.
+
+    The comparison uses the *game value at the default parameters* (not the
+    asymptotic bound), because at finite parameters the asymptotic theorems
+    only guarantee the slightly smaller finite-instance value.
+    """
+    certificates = {result.theorem: result for result in all_certificates()}
+    violations = []
+    for outcome in outcomes:
+        certified = certificates[outcome.theorem].value
+        if outcome.ratio < certified - tolerance:
+            violations.append(outcome)
+    return violations

@@ -1,0 +1,70 @@
+"""Task-size perturbation for the robustness experiment (Figure 2).
+
+Section 4.3:
+
+    "In another experiment, we try to test the robustness of the algorithms.
+    We randomly change the size of the matrix sent by the master at each
+    round, by a factor of up to 10 %.  Figure 2 represents the average
+    makespan (respectively sum-flow and max-flow) compared to the one
+    obtained on the same platform, but with identical size tasks."
+
+Changing the matrix size changes both the data volume (communication time)
+and the amount of computation, so the perturbation scales a task's
+``comm_factor`` and ``comp_factor`` together by a factor drawn uniformly in
+``[1 - amplitude, 1 + amplitude]`` (default amplitude 10 %).  An independent
+mode is also provided for ablations in which communication and computation
+are perturbed by different draws.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.task import TaskSet
+from ..exceptions import TaskError
+from .release import RngLike, as_rng
+
+__all__ = ["PAPER_PERTURBATION_AMPLITUDE", "perturb_task_sizes"]
+
+#: "by a factor of up to 10%" — the amplitude used in Figure 2.
+PAPER_PERTURBATION_AMPLITUDE = 0.10
+
+
+def perturb_task_sizes(
+    tasks: TaskSet,
+    amplitude: float = PAPER_PERTURBATION_AMPLITUDE,
+    rng: RngLike = None,
+    coupled: bool = True,
+) -> TaskSet:
+    """Return a copy of ``tasks`` with randomly perturbed size factors.
+
+    Parameters
+    ----------
+    tasks:
+        The baseline (identical) task set.
+    amplitude:
+        Maximum relative perturbation; each factor is drawn uniformly in
+        ``[1 - amplitude, 1 + amplitude]``.
+    rng:
+        Seed or :class:`numpy.random.Generator` for reproducibility.
+    coupled:
+        When true (the paper's setting) a single factor per task scales both
+        the communication and the computation — the matrix got bigger or
+        smaller.  When false, the two dimensions are perturbed independently.
+    """
+    if not 0.0 <= amplitude < 1.0:
+        raise TaskError(f"amplitude must be in [0, 1), got {amplitude}")
+    generator = as_rng(rng)
+    n = len(tasks)
+    if n == 0:
+        raise TaskError("cannot perturb an empty task set")
+    low, high = 1.0 - amplitude, 1.0 + amplitude
+    if coupled:
+        factors = generator.uniform(low, high, size=n)
+        comm_factors = comp_factors = [float(f) for f in factors]
+    else:
+        comm_factors = [float(f) for f in generator.uniform(low, high, size=n)]
+        comp_factors = [float(f) for f in generator.uniform(low, high, size=n)]
+    return tasks.with_factors(comm_factors=comm_factors, comp_factors=comp_factors)

@@ -1,0 +1,117 @@
+"""Random platform generation following the experimental setup of Section 4.2.
+
+The paper's testbed consists of five machines whose calibrated parameters are
+then rescaled to reach the desired level of heterogeneity:
+
+    "Our platforms are composed with five machines P_i with c_i between
+    0.01 s and 1 s, and p_i between 0.1 s and 8 s.  [...] for each diagram,
+    we create ten random platforms, possibly with one prescribed property
+    (such as homogeneous links or processors)."
+
+:func:`random_platform` draws one platform of a prescribed
+:class:`~repro.core.platform.PlatformKind` from those ranges, and
+:func:`platform_campaign` draws the ten platforms of one Figure 1 diagram.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.platform import Platform, PlatformKind
+from ..exceptions import PlatformError
+from .release import RngLike, as_rng
+
+__all__ = [
+    "PAPER_COMM_RANGE",
+    "PAPER_COMP_RANGE",
+    "PAPER_N_WORKERS",
+    "PAPER_N_PLATFORMS",
+    "PlatformSpec",
+    "random_platform",
+    "platform_campaign",
+]
+
+#: Communication-time range (seconds) used in Section 4.2.
+PAPER_COMM_RANGE: Tuple[float, float] = (0.01, 1.0)
+
+#: Computation-time range (seconds) used in Section 4.2.
+PAPER_COMP_RANGE: Tuple[float, float] = (0.1, 8.0)
+
+#: Number of slaves in the paper's testbed.
+PAPER_N_WORKERS = 5
+
+#: Number of random platforms per diagram.
+PAPER_N_PLATFORMS = 10
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """Parameters of the random platform generator."""
+
+    kind: PlatformKind
+    n_workers: int = PAPER_N_WORKERS
+    comm_range: Tuple[float, float] = PAPER_COMM_RANGE
+    comp_range: Tuple[float, float] = PAPER_COMP_RANGE
+
+    def __post_init__(self) -> None:
+        if self.n_workers <= 0:
+            raise PlatformError(f"n_workers must be positive, got {self.n_workers}")
+        for low, high in (self.comm_range, self.comp_range):
+            if not 0 < low <= high:
+                raise PlatformError(f"invalid parameter range ({low}, {high})")
+
+
+def _draw(rng, value_range: Tuple[float, float], size: int) -> List[float]:
+    low, high = value_range
+    return [float(v) for v in rng.uniform(low, high, size=size)]
+
+
+def _homogeneous_value(rng, value_range: Tuple[float, float]) -> float:
+    low, high = value_range
+    return float(rng.uniform(low, high))
+
+
+def random_platform(spec: PlatformSpec, rng: RngLike = None) -> Platform:
+    """Draw one platform with the prescribed homogeneity property.
+
+    Homogeneous dimensions use a single value drawn from the same range, so
+    a communication-homogeneous platform has one common ``c`` in
+    ``comm_range`` and per-worker ``p_j`` in ``comp_range``, matching the way
+    the paper prescribes "one property" per diagram.
+    """
+    generator = as_rng(rng)
+    kind = spec.kind
+    if kind is PlatformKind.HOMOGENEOUS:
+        comm = [_homogeneous_value(generator, spec.comm_range)] * spec.n_workers
+        comp = [_homogeneous_value(generator, spec.comp_range)] * spec.n_workers
+    elif kind is PlatformKind.COMMUNICATION_HOMOGENEOUS:
+        comm = [_homogeneous_value(generator, spec.comm_range)] * spec.n_workers
+        comp = _draw(generator, spec.comp_range, spec.n_workers)
+    elif kind is PlatformKind.COMPUTATION_HOMOGENEOUS:
+        comm = _draw(generator, spec.comm_range, spec.n_workers)
+        comp = [_homogeneous_value(generator, spec.comp_range)] * spec.n_workers
+    elif kind is PlatformKind.HETEROGENEOUS:
+        comm = _draw(generator, spec.comm_range, spec.n_workers)
+        comp = _draw(generator, spec.comp_range, spec.n_workers)
+    else:  # pragma: no cover - exhaustive enum
+        raise PlatformError(f"unknown platform kind {kind}")
+    return Platform.from_times(comm, comp)
+
+
+def platform_campaign(
+    kind: PlatformKind,
+    n_platforms: int = PAPER_N_PLATFORMS,
+    n_workers: int = PAPER_N_WORKERS,
+    rng: RngLike = None,
+    comm_range: Tuple[float, float] = PAPER_COMM_RANGE,
+    comp_range: Tuple[float, float] = PAPER_COMP_RANGE,
+) -> List[Platform]:
+    """Draw the ``n_platforms`` random platforms of one Figure 1 diagram."""
+    if n_platforms <= 0:
+        raise PlatformError(f"n_platforms must be positive, got {n_platforms}")
+    generator = as_rng(rng)
+    spec = PlatformSpec(
+        kind=kind, n_workers=n_workers, comm_range=comm_range, comp_range=comp_range
+    )
+    return [random_platform(spec, generator) for _ in range(n_platforms)]

@@ -1,0 +1,128 @@
+"""Release-time processes.
+
+The experiments of Section 4 send "one thousand tasks" to the platform; the
+paper does not spell out an arrival process, so the harness defaults to the
+bag-of-tasks setting (everything released at time 0) and additionally
+provides the arrival processes used in the on-line scheduling literature for
+ablation studies:
+
+* :func:`all_at_zero` — bag of tasks, the default for Figure 1/2;
+* :func:`uniform_releases` — releases drawn uniformly over a window;
+* :func:`poisson_releases` — a Poisson process with a target load factor;
+* :func:`bursty_releases` — bursts of simultaneous releases separated by
+  idle gaps;
+* :func:`saturating_releases` — inter-arrival times matching the platform's
+  steady-state throughput so the master is permanently (but only just)
+  backlogged.
+
+All generators take an explicit :class:`numpy.random.Generator` (or a seed)
+and return a :class:`~repro.core.task.TaskSet`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from ..core.platform import Platform
+from ..core.task import TaskSet
+from ..exceptions import TaskError
+
+__all__ = [
+    "all_at_zero",
+    "uniform_releases",
+    "poisson_releases",
+    "bursty_releases",
+    "saturating_releases",
+    "as_rng",
+]
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def as_rng(rng: RngLike) -> np.random.Generator:
+    """Coerce ``None`` / seed / generator into a :class:`numpy.random.Generator`."""
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def _check_count(n_tasks: int) -> None:
+    if n_tasks <= 0:
+        raise TaskError(f"need at least one task, got {n_tasks}")
+
+
+def all_at_zero(n_tasks: int) -> TaskSet:
+    """``n_tasks`` identical tasks all released at time 0 (bag of tasks)."""
+    _check_count(n_tasks)
+    return TaskSet.from_releases([0.0] * n_tasks)
+
+
+def uniform_releases(n_tasks: int, horizon: float, rng: RngLike = None) -> TaskSet:
+    """Releases drawn independently and uniformly over ``[0, horizon]``."""
+    _check_count(n_tasks)
+    if horizon < 0:
+        raise TaskError(f"horizon must be non-negative, got {horizon}")
+    generator = as_rng(rng)
+    releases = generator.uniform(0.0, horizon, size=n_tasks)
+    return TaskSet.from_releases(sorted(float(r) for r in releases))
+
+
+def poisson_releases(
+    n_tasks: int, rate: float, rng: RngLike = None, start: float = 0.0
+) -> TaskSet:
+    """A Poisson arrival process with the given rate (tasks per time unit)."""
+    _check_count(n_tasks)
+    if rate <= 0:
+        raise TaskError(f"arrival rate must be positive, got {rate}")
+    generator = as_rng(rng)
+    gaps = generator.exponential(scale=1.0 / rate, size=n_tasks)
+    releases = start + np.cumsum(gaps) - gaps[0]  # first release at `start`
+    return TaskSet.from_releases([float(r) for r in releases])
+
+
+def bursty_releases(
+    n_tasks: int,
+    burst_size: int,
+    gap: float,
+    rng: RngLike = None,
+    jitter: float = 0.0,
+) -> TaskSet:
+    """Bursts of ``burst_size`` simultaneous releases separated by ``gap``.
+
+    ``jitter`` adds a uniform perturbation in ``[0, jitter]`` to each release
+    so that ties can be broken randomly when desired.
+    """
+    _check_count(n_tasks)
+    if burst_size <= 0:
+        raise TaskError(f"burst_size must be positive, got {burst_size}")
+    if gap < 0 or jitter < 0:
+        raise TaskError("gap and jitter must be non-negative")
+    generator = as_rng(rng)
+    releases = []
+    for index in range(n_tasks):
+        burst_index = index // burst_size
+        base = burst_index * gap
+        offset = float(generator.uniform(0.0, jitter)) if jitter > 0 else 0.0
+        releases.append(base + offset)
+    return TaskSet.from_releases(sorted(releases))
+
+
+def saturating_releases(
+    n_tasks: int, platform: Platform, load_factor: float = 1.0, rng: RngLike = None
+) -> TaskSet:
+    """Arrivals paced at ``load_factor`` times the platform's sustainable rate.
+
+    ``load_factor > 1`` overloads the platform (queues grow without bound),
+    ``< 1`` leaves idle time between tasks.  Arrivals are deterministic and
+    evenly spaced; pass an ``rng`` to add exponential jitter instead.
+    """
+    _check_count(n_tasks)
+    if load_factor <= 0:
+        raise TaskError(f"load_factor must be positive, got {load_factor}")
+    rate = platform.steady_state_throughput() * load_factor
+    if rng is None:
+        releases = [index / rate for index in range(n_tasks)]
+        return TaskSet.from_releases(releases)
+    return poisson_releases(n_tasks, rate=rate, rng=rng)

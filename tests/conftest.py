@@ -1,0 +1,84 @@
+"""Shared fixtures for the test-suite.
+
+The fixtures provide small, deterministic platforms and task sets of every
+heterogeneity class, plus a helper to run any scheduler through the engine
+and validate the resulting schedule in one call.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import simulate
+from repro.core.platform import Platform
+from repro.core.schedule import Schedule
+from repro.core.task import TaskSet
+from repro.schedulers.base import OnlineScheduler
+from repro.workloads.release import all_at_zero
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator for the stochastic components."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def homogeneous_platform() -> Platform:
+    """Four identical slaves (c = 0.5, p = 2)."""
+    return Platform.homogeneous(4, c=0.5, p=2.0)
+
+
+@pytest.fixture
+def comm_homogeneous_platform() -> Platform:
+    """Identical links, heterogeneous processors (the Section 3.2 setting)."""
+    return Platform.from_times([1.0, 1.0, 1.0], [1.0, 2.0, 4.0])
+
+
+@pytest.fixture
+def comp_homogeneous_platform() -> Platform:
+    """Identical processors, heterogeneous links (the Section 3.3 setting)."""
+    return Platform.from_times([0.2, 0.6, 1.5], [3.0, 3.0, 3.0])
+
+
+@pytest.fixture
+def heterogeneous_platform() -> Platform:
+    """Both dimensions heterogeneous (the Section 3.4 setting)."""
+    return Platform.from_times([0.1, 0.5, 1.0, 0.3], [0.8, 2.0, 6.0, 4.0])
+
+
+@pytest.fixture
+def theorem1_platform() -> Platform:
+    """The Theorem 1 adversary platform (p1=3, p2=7, c=1)."""
+    return Platform.from_times([1.0, 1.0], [3.0, 7.0])
+
+
+@pytest.fixture
+def small_bag() -> TaskSet:
+    """Ten identical tasks released at time 0."""
+    return all_at_zero(10)
+
+
+@pytest.fixture
+def staggered_tasks() -> TaskSet:
+    """Six identical tasks with staggered release dates."""
+    return TaskSet.from_releases([0.0, 0.0, 1.0, 2.5, 2.5, 4.0])
+
+
+@pytest.fixture
+def run_and_validate():
+    """Run a scheduler through the engine, validate feasibility, return the schedule."""
+
+    def _run(
+        scheduler: OnlineScheduler,
+        platform: Platform,
+        tasks: TaskSet,
+        expose_task_count: bool = False,
+    ) -> Schedule:
+        schedule = simulate(scheduler, platform, tasks, expose_task_count=expose_task_count)
+        schedule.validate()
+        assert schedule.is_complete
+        return schedule
+
+    return _run

@@ -1,0 +1,180 @@
+"""Unit tests for the adversary-game machinery (:mod:`repro.theory.adversary`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metrics import Objective
+from repro.core.platform import Platform
+from repro.core.task import TaskSet
+from repro.exceptions import ReproError, SchedulingError
+from repro.schedulers.list_scheduling import ListScheduler
+from repro.schedulers.offline import optimal_value
+from repro.schedulers.srpt import SRPTScheduler
+from repro.theory.adversary import (
+    Commitment,
+    GameLeaf,
+    constrained_best_value,
+    game_value,
+    leaf_best_value,
+    leaf_optimal_value,
+    leaf_ratio,
+    run_reactive_game,
+)
+from repro.theory.reactive import SingleCheckpointAdversary, TwoCheckpointAdversary
+
+
+@pytest.fixture
+def platform():
+    """The Theorem 1 platform (c = 1, p1 = 3, p2 = 7)."""
+    return Platform.from_times([1.0, 1.0], [3.0, 7.0])
+
+
+class TestConstrainedBestValue:
+    def test_unconstrained_matches_brute_force(self, platform):
+        tasks = TaskSet.from_releases([0.0, 1.0])
+        best = constrained_best_value(platform, tasks, Objective.MAKESPAN)
+        assert best == pytest.approx(optimal_value(platform, tasks, Objective.MAKESPAN))
+
+    def test_commitment_to_slow_worker_costs(self, platform):
+        tasks = TaskSet.from_releases([0.0])
+        best = constrained_best_value(
+            platform, tasks, Objective.MAKESPAN, prefix=[Commitment(0, worker_id=1)]
+        )
+        assert best == pytest.approx(8.0)  # c + p2
+
+    def test_delay_commitment_raises_cost(self, platform):
+        tasks = TaskSet.from_releases([0.0])
+        best = constrained_best_value(
+            platform, tasks, Objective.MAKESPAN, delays={0: 1.0}
+        )
+        assert best == pytest.approx(5.0)  # tau + c + p1
+
+    def test_prefix_order_enforced(self, platform):
+        # Task 0 committed to the slow worker and sent first: task 1's send
+        # can only start after that communication.
+        tasks = TaskSet.from_releases([0.0, 0.0])
+        best = constrained_best_value(
+            platform,
+            tasks,
+            Objective.MAKESPAN,
+            prefix=[Commitment(0, worker_id=1)],
+        )
+        # Best completion: task 0 on P2 (8), task 1 sent at 1 on P1 -> 5.
+        assert best == pytest.approx(8.0)
+
+    def test_prefix_without_worker_rejected(self, platform):
+        tasks = TaskSet.from_releases([0.0])
+        with pytest.raises(SchedulingError):
+            constrained_best_value(
+                platform, tasks, Objective.MAKESPAN, prefix=[Commitment(0, worker_id=None)]
+            )
+
+    def test_duplicate_prefix_rejected(self, platform):
+        tasks = TaskSet.from_releases([0.0, 0.0])
+        with pytest.raises(SchedulingError):
+            constrained_best_value(
+                platform,
+                tasks,
+                Objective.MAKESPAN,
+                prefix=[Commitment(0, worker_id=0), Commitment(0, worker_id=1)],
+            )
+
+    @pytest.mark.parametrize("objective", list(Objective))
+    def test_commitments_never_improve_the_optimum(self, platform, objective):
+        tasks = TaskSet.from_releases([0.0, 0.5, 1.0])
+        unconstrained = constrained_best_value(platform, tasks, objective)
+        constrained = constrained_best_value(
+            platform, tasks, objective, prefix=[Commitment(0, worker_id=1)]
+        )
+        assert constrained >= unconstrained - 1e-12
+
+
+class TestGameLeaves:
+    def test_leaf_ratio_single_task(self, platform):
+        leaf = GameLeaf(
+            description="forced onto the slow worker",
+            releases=(0.0,),
+            prefix=(Commitment(0, worker_id=1),),
+        )
+        assert leaf_best_value(platform, leaf, Objective.MAKESPAN) == pytest.approx(8.0)
+        assert leaf_optimal_value(platform, leaf, Objective.MAKESPAN) == pytest.approx(4.0)
+        assert leaf_ratio(platform, leaf, Objective.MAKESPAN) == pytest.approx(2.0)
+
+    def test_game_value_is_min_over_leaves(self, platform):
+        easy = GameLeaf(description="easy", releases=(0.0,))
+        hard = GameLeaf(
+            description="hard",
+            releases=(0.0,),
+            prefix=(Commitment(0, worker_id=1),),
+        )
+        value, ratios = game_value(platform, [easy, hard], Objective.MAKESPAN)
+        assert ratios["easy"] == pytest.approx(1.0)
+        assert ratios["hard"] == pytest.approx(2.0)
+        assert value == pytest.approx(1.0)
+
+    def test_empty_game_rejected(self, platform):
+        with pytest.raises(ReproError):
+            game_value(platform, [], Objective.MAKESPAN)
+
+    def test_leaf_task_set_roundtrip(self):
+        leaf = GameLeaf(description="x", releases=(0.0, 1.0, 1.0))
+        tasks = leaf.task_set()
+        assert len(tasks) == 3
+        assert tasks.releases == [0.0, 1.0, 1.0]
+
+
+class TestReactiveFramework:
+    def test_single_checkpoint_flood_on_forced_choice(self, platform):
+        adversary = SingleCheckpointAdversary(
+            platform=platform,
+            objective=Objective.MAKESPAN,
+            theorem=0,
+            checkpoint=1.0,
+            flood_releases=[1.0, 1.0],
+        )
+        # LS sends the first task to P1 (finishes earlier), so the adversary
+        # floods and the final instance has three tasks.
+        outcome = run_reactive_game(adversary, ListScheduler)
+        assert len(outcome.releases) == 3
+        assert outcome.ratio >= 1.0
+
+    def test_single_checkpoint_stops_on_other_choice(self, platform):
+        adversary = SingleCheckpointAdversary(
+            platform=platform,
+            objective=Objective.MAKESPAN,
+            theorem=0,
+            checkpoint=1.0,
+            flood_releases=[1.0, 1.0],
+            forced_worker=1,  # LS never picks the slow worker first
+        )
+        outcome = run_reactive_game(adversary, ListScheduler)
+        assert len(outcome.releases) == 1
+
+    def test_two_checkpoint_structure(self, platform):
+        adversary = TwoCheckpointAdversary(
+            platform=platform,
+            objective=Objective.MAKESPAN,
+            theorem=0,
+            first_checkpoint=1.0,
+            second_checkpoint=2.0,
+        )
+        outcome = run_reactive_game(adversary, SRPTScheduler)
+        # SRPT commits the first task to P1, receives the second task, and
+        # (still seeing P2 busy-free dynamics) triggers one of the phase-2
+        # branches: the instance has 2 or 3 tasks depending on its choice.
+        assert len(outcome.releases) in (2, 3)
+        assert outcome.optimal_value > 0
+        assert outcome.ratio >= 1.0
+
+    def test_outcome_reports_scheduler_name(self, platform):
+        adversary = SingleCheckpointAdversary(
+            platform=platform,
+            objective=Objective.SUM_FLOW,
+            theorem=0,
+            checkpoint=1.0,
+            flood_releases=[1.0],
+        )
+        outcome = run_reactive_game(adversary, SRPTScheduler)
+        assert outcome.scheduler_name == "SRPT"
+        assert outcome.objective is Objective.SUM_FLOW

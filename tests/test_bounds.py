@@ -1,0 +1,105 @@
+"""Unit tests for the closed-form Table 1 bounds (:mod:`repro.theory.bounds`)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.metrics import Objective
+from repro.core.platform import PlatformKind
+from repro.exceptions import ReproError
+from repro.theory.bounds import TABLE_1, format_table1, lower_bound, table1_rows
+
+
+class TestTable1Values:
+    """Pin every published cell of Table 1 to its closed form."""
+
+    def test_comm_homogeneous_makespan(self):
+        entry = lower_bound(PlatformKind.COMMUNICATION_HOMOGENEOUS, Objective.MAKESPAN)
+        assert entry.value == pytest.approx(1.25)
+        assert entry.theorem == 1
+
+    def test_comm_homogeneous_max_flow(self):
+        entry = lower_bound(PlatformKind.COMMUNICATION_HOMOGENEOUS, Objective.MAX_FLOW)
+        assert entry.value == pytest.approx((5 - math.sqrt(7)) / 2)
+        assert entry.value == pytest.approx(1.177, abs=1e-3)
+        assert entry.theorem == 3
+
+    def test_comm_homogeneous_sum_flow(self):
+        entry = lower_bound(PlatformKind.COMMUNICATION_HOMOGENEOUS, Objective.SUM_FLOW)
+        assert entry.value == pytest.approx((2 + 4 * math.sqrt(2)) / 7)
+        assert entry.value == pytest.approx(1.093, abs=1e-3)
+        assert entry.theorem == 2
+
+    def test_comp_homogeneous_makespan(self):
+        entry = lower_bound(PlatformKind.COMPUTATION_HOMOGENEOUS, Objective.MAKESPAN)
+        assert entry.value == pytest.approx(1.2)
+        assert entry.theorem == 4
+
+    def test_comp_homogeneous_max_flow(self):
+        entry = lower_bound(PlatformKind.COMPUTATION_HOMOGENEOUS, Objective.MAX_FLOW)
+        assert entry.value == pytest.approx(1.25)
+        assert entry.theorem == 5
+
+    def test_comp_homogeneous_sum_flow(self):
+        entry = lower_bound(PlatformKind.COMPUTATION_HOMOGENEOUS, Objective.SUM_FLOW)
+        assert entry.value == pytest.approx(23 / 22)
+        assert entry.value == pytest.approx(1.045, abs=1e-3)
+        assert entry.theorem == 6
+
+    def test_heterogeneous_makespan(self):
+        entry = lower_bound(PlatformKind.HETEROGENEOUS, Objective.MAKESPAN)
+        assert entry.value == pytest.approx((1 + math.sqrt(3)) / 2)
+        assert entry.value == pytest.approx(1.366, abs=1e-3)
+        assert entry.theorem == 7
+
+    def test_heterogeneous_max_flow(self):
+        entry = lower_bound(PlatformKind.HETEROGENEOUS, Objective.MAX_FLOW)
+        assert entry.value == pytest.approx(math.sqrt(2))
+        assert entry.theorem == 9
+
+    def test_heterogeneous_sum_flow(self):
+        entry = lower_bound(PlatformKind.HETEROGENEOUS, Objective.SUM_FLOW)
+        assert entry.value == pytest.approx((math.sqrt(13) - 1) / 2)
+        assert entry.value == pytest.approx(1.302, abs=1e-3)
+        assert entry.theorem == 8
+
+
+class TestTableStructure:
+    def test_nine_entries(self):
+        assert len(TABLE_1) == 9
+        assert {entry.theorem for entry in TABLE_1.values()} == set(range(1, 10))
+
+    def test_homogeneous_platforms_excluded(self):
+        with pytest.raises(ReproError):
+            lower_bound(PlatformKind.HOMOGENEOUS, Objective.MAKESPAN)
+
+    def test_heterogeneity_increases_difficulty(self):
+        """Section 3.1: mixing both sources of heterogeneity gives the hardest
+        problem — the fully heterogeneous bound dominates both single-source
+        bounds for every objective."""
+        for objective in Objective:
+            hetero = lower_bound(PlatformKind.HETEROGENEOUS, objective).value
+            comm = lower_bound(PlatformKind.COMMUNICATION_HOMOGENEOUS, objective).value
+            comp = lower_bound(PlatformKind.COMPUTATION_HOMOGENEOUS, objective).value
+            assert hetero > max(comm, comp)
+
+    def test_all_bounds_exceed_one(self):
+        for entry in TABLE_1.values():
+            assert entry.value > 1.0
+
+    def test_rows_cover_three_platform_kinds(self):
+        rows = table1_rows()
+        assert len(rows) == 3
+        assert {row["platform"] for row in rows} == {
+            "communication-homogeneous",
+            "computation-homogeneous",
+            "heterogeneous",
+        }
+
+    def test_formatting_contains_values(self):
+        text = format_table1()
+        assert "1.250" in text
+        assert "1.366" in text
+        assert "heterogeneous" in text

@@ -1,0 +1,63 @@
+"""Tests for the command-line interface (:mod:`repro.cli`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands(self):
+        parser = build_parser()
+        for command in ("table1", "figure1", "figure2", "demo"):
+            args = parser.parse_args([command])
+            assert args.command == command
+
+    def test_figure1_options(self):
+        args = build_parser().parse_args(
+            ["figure1", "--platforms", "3", "--tasks", "50", "--panels", "1a", "1d", "--cluster"]
+        )
+        assert args.platforms == 3
+        assert args.tasks == 50
+        assert args.panels == ["1a", "1d"]
+        assert args.cluster is True
+
+    def test_demo_rejects_unknown_scheduler(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "--scheduler", "NOPE"])
+
+
+class TestMain:
+    def test_table1_command(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "communication-homogeneous" in out
+        assert "1.2500" in out
+
+    def test_figure1_command_small(self, capsys):
+        code = main(["figure1", "--platforms", "1", "--tasks", "30", "--panels", "1a"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 1 panel" in out
+        assert "SLJFWC" in out
+
+    def test_figure2_command_small(self, capsys):
+        code = main(["figure2", "--platforms", "1", "--tasks", "30"])
+        assert code == 0
+        assert "Figure 2" in capsys.readouterr().out
+
+    def test_demo_command(self, capsys):
+        code = main(["demo", "--scheduler", "LS", "--tasks", "6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "master" in out  # the Gantt chart
+
+    def test_demo_mismatched_platform_lists(self, capsys):
+        code = main(["demo", "--comm", "1.0", "--comp", "1.0", "2.0"])
+        assert code == 2

@@ -1,0 +1,124 @@
+"""Unit tests for the simulated cluster (:mod:`repro.mpi_sim.cluster`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import PlatformError
+from repro.mpi_sim.cluster import SimulatedCluster, SlaveMachine, default_cluster
+from repro.mpi_sim.matrix_tasks import MatrixTaskModel
+from repro.mpi_sim.network import EthernetSwitch, NetworkLink
+
+
+@pytest.fixture
+def machines():
+    return [
+        SlaveMachine(name="fast", cpu_flops=1e9, nic_bandwidth=1e7, measurement_noise=0.0),
+        SlaveMachine(name="slow", cpu_flops=2e8, nic_bandwidth=2e6, measurement_noise=0.0),
+    ]
+
+
+@pytest.fixture
+def cluster(machines):
+    return SimulatedCluster(machines)
+
+
+@pytest.fixture
+def probe():
+    return MatrixTaskModel(matrix_size=200)
+
+
+class TestSlaveMachine:
+    def test_invalid_cpu_rejected(self):
+        with pytest.raises(PlatformError):
+            SlaveMachine(name="x", cpu_flops=0.0, nic_bandwidth=1e6)
+
+    def test_invalid_noise_rejected(self):
+        with pytest.raises(PlatformError):
+            SlaveMachine(name="x", cpu_flops=1e9, nic_bandwidth=1e6, measurement_noise=1.5)
+
+    def test_invalid_memory_rejected(self):
+        with pytest.raises(PlatformError):
+            SlaveMachine(name="x", cpu_flops=1e9, nic_bandwidth=1e6, memory_bytes=0.0)
+
+
+class TestSimulatedCluster:
+    def test_ground_truth_costs(self, cluster, probe):
+        slow_comp = cluster.true_comp_time(1, probe)
+        fast_comp = cluster.true_comp_time(0, probe)
+        assert slow_comp > fast_comp
+        assert cluster.true_comm_time(1, probe) > cluster.true_comm_time(0, probe)
+
+    def test_base_platform_names_and_kind(self, cluster, probe):
+        platform = cluster.base_platform(probe)
+        assert [w.name for w in platform] == ["fast", "slow"]
+        assert platform.n_workers == 2
+
+    def test_probe_without_noise_is_exact(self, cluster, probe):
+        comm, comp = cluster.probe(0, probe, rng=0)
+        assert comm == pytest.approx(cluster.true_comm_time(0, probe))
+        assert comp == pytest.approx(cluster.true_comp_time(0, probe))
+
+    def test_probe_with_noise_is_close(self, probe):
+        machine = SlaveMachine(
+            name="noisy", cpu_flops=1e9, nic_bandwidth=1e7, measurement_noise=0.05
+        )
+        cluster = SimulatedCluster([machine])
+        comm, comp = cluster.probe(0, probe, rng=1)
+        assert comm == pytest.approx(cluster.true_comm_time(0, probe), rel=0.3)
+        assert comp == pytest.approx(cluster.true_comp_time(0, probe), rel=0.3)
+
+    def test_probe_all_covers_every_slave(self, cluster, probe):
+        comm, comp = cluster.probe_all(probe, rng=0)
+        assert len(comm) == len(comp) == len(cluster)
+
+    def test_memory_limit_enforced(self):
+        tiny = SlaveMachine(
+            name="tiny", cpu_flops=1e9, nic_bandwidth=1e7, memory_bytes=1e4
+        )
+        cluster = SimulatedCluster([tiny])
+        with pytest.raises(PlatformError, match="memory"):
+            cluster.true_comp_time(0, MatrixTaskModel(matrix_size=1000))
+
+    def test_effective_platform_scales_times(self, cluster, probe):
+        base = cluster.base_platform(probe)
+        scaled = cluster.effective_platform(probe, [2, 3], [4, 5])
+        assert scaled.comm_times[0] == pytest.approx(2 * base.comm_times[0])
+        assert scaled.comm_times[1] == pytest.approx(3 * base.comm_times[1])
+        assert scaled.comp_times[0] == pytest.approx(4 * base.comp_times[0])
+        assert scaled.comp_times[1] == pytest.approx(5 * base.comp_times[1])
+
+    def test_effective_platform_rejects_bad_multipliers(self, cluster, probe):
+        with pytest.raises(PlatformError):
+            cluster.effective_platform(probe, [0, 1], [1, 1])
+        with pytest.raises(PlatformError):
+            cluster.effective_platform(probe, [1], [1, 1])
+
+    def test_mismatched_switch_rejected(self, machines):
+        switch = EthernetSwitch([NetworkLink(nic_bandwidth=1e6)])
+        with pytest.raises(PlatformError):
+            SimulatedCluster(machines, switch=switch)
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(PlatformError):
+            SimulatedCluster([])
+
+    def test_describe(self, cluster):
+        description = cluster.describe()
+        assert description["n_slaves"] == 2
+        assert len(description["machines"]) == 2
+
+
+class TestDefaultCluster:
+    def test_five_heterogeneous_machines(self):
+        cluster = default_cluster(rng=0)
+        assert len(cluster) == 5
+        speeds = [m.cpu_flops for m in cluster.machines]
+        bandwidths = [m.nic_bandwidth for m in cluster.machines]
+        assert max(speeds) / min(speeds) > 2.0
+        assert max(bandwidths) / min(bandwidths) > 2.0
+
+    def test_reproducible(self):
+        a = default_cluster(rng=4)
+        b = default_cluster(rng=4)
+        assert [m.cpu_flops for m in a.machines] == [m.cpu_flops for m in b.machines]

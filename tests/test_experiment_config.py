@@ -1,0 +1,65 @@
+"""Unit tests for the experiment configuration objects."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.platform import PlatformKind
+from repro.exceptions import ExperimentError
+from repro.experiments.config import METRIC_NAMES, CampaignConfig, Figure1Config, Figure2Config
+
+
+class TestCampaignConfig:
+    def test_defaults_follow_paper(self):
+        config = CampaignConfig()
+        assert config.n_platforms == 10
+        assert config.n_workers == 5
+        assert config.n_tasks == 1000
+        assert config.reference == "SRPT"
+        assert config.heuristics == ("SRPT", "LS", "RR", "RRC", "RRP", "SLJF", "SLJFWC")
+
+    def test_metric_names_order(self):
+        assert METRIC_NAMES == ("makespan", "sum_flow", "max_flow")
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"n_platforms": 0},
+            {"n_workers": 0},
+            {"n_tasks": 0},
+            {"heuristics": ()},
+            {"reference": "NOT-THERE"},
+        ],
+    )
+    def test_invalid_configurations_rejected(self, kwargs):
+        with pytest.raises(ExperimentError):
+            CampaignConfig(**kwargs)
+
+    def test_scaled_copy(self):
+        config = CampaignConfig().scaled(n_platforms=2, n_tasks=50)
+        assert config.n_platforms == 2
+        assert config.n_tasks == 50
+        assert config.reference == "SRPT"
+
+    def test_scaled_keeps_unspecified_fields(self):
+        config = CampaignConfig(seed=9).scaled(n_tasks=10)
+        assert config.seed == 9
+        assert config.n_platforms == 10
+
+
+class TestFigureConfigs:
+    def test_figure1_default_kind(self):
+        assert Figure1Config().kind is PlatformKind.HETEROGENEOUS
+
+    def test_figure2_defaults(self):
+        config = Figure2Config()
+        assert config.perturbation_amplitude == pytest.approx(0.10)
+        assert config.n_perturbations == 3
+
+    def test_figure2_invalid_amplitude_rejected(self):
+        with pytest.raises(ExperimentError):
+            Figure2Config(perturbation_amplitude=1.0)
+
+    def test_figure2_invalid_perturbation_count_rejected(self):
+        with pytest.raises(ExperimentError):
+            Figure2Config(n_perturbations=0)

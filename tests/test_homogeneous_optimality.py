@@ -1,0 +1,71 @@
+"""Tests of the optimality claims the paper makes for homogeneous platforms.
+
+The introduction states that on fully homogeneous platforms the FIFO
+list-scheduling strategy (send the first unscheduled task to the processor
+with the smallest ready time) is optimal for the makespan, the max-flow and
+the sum-flow.  These tests check our ListScheduler against the brute-force
+optimum on a battery of small homogeneous instances — with and without
+release dates — for all three objectives.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.core.engine import simulate
+from repro.core.metrics import Objective, objective_value
+from repro.core.platform import Platform
+from repro.core.task import TaskSet
+from repro.schedulers.list_scheduling import ListScheduler
+from repro.schedulers.offline import optimal_value
+from repro.schedulers.srpt import SRPTScheduler
+
+INSTANCES = [
+    # (n_workers, c, p, releases)
+    (2, 1.0, 3.0, [0.0, 0.0, 0.0]),
+    (2, 1.0, 3.0, [0.0, 0.5, 4.0, 4.5]),
+    (2, 0.5, 2.0, [0.0, 0.0, 1.0, 6.0]),
+    (3, 0.3, 1.0, [0.0, 0.0, 0.0, 0.0, 0.0]),
+    (3, 1.0, 0.5, [0.0, 2.0, 2.0, 2.0]),
+    (2, 2.0, 1.0, [0.0, 0.0, 3.0]),
+]
+
+
+@pytest.mark.parametrize("objective", list(Objective))
+@pytest.mark.parametrize("n_workers,c,p,releases", INSTANCES)
+def test_list_scheduling_optimal_on_homogeneous_platforms(n_workers, c, p, releases, objective):
+    platform = Platform.homogeneous(n_workers, c=c, p=p)
+    tasks = TaskSet.from_releases(releases)
+    schedule = simulate(ListScheduler(), platform, tasks)
+    achieved = objective_value(schedule, objective)
+    best = optimal_value(platform, tasks, objective)
+    assert achieved == pytest.approx(best, rel=1e-9), (
+        f"LS is not optimal for {objective} on homogeneous platform "
+        f"(achieved {achieved}, optimal {best})"
+    )
+
+
+@pytest.mark.parametrize("n_workers,c,p,releases", INSTANCES)
+def test_srpt_never_beats_the_optimum_but_may_match_it(n_workers, c, p, releases):
+    platform = Platform.homogeneous(n_workers, c=c, p=p)
+    tasks = TaskSet.from_releases(releases)
+    schedule = simulate(SRPTScheduler(), platform, tasks)
+    best = optimal_value(platform, tasks, Objective.MAKESPAN)
+    assert objective_value(schedule, Objective.MAKESPAN) >= best - 1e-9
+
+
+def test_problem_becomes_suboptimal_once_processors_differ():
+    """Sanity check of the paper's core message: the very same FIFO strategy
+    stops being optimal as soon as one processor is slower."""
+    platform = Platform.from_times([1.0, 1.0], [3.0, 7.0])
+    found_gap = False
+    for releases in itertools.product([0.0, 1.0, 2.0], repeat=3):
+        tasks = TaskSet.from_releases(list(releases))
+        schedule = simulate(ListScheduler(), platform, tasks)
+        best = optimal_value(platform, tasks, Objective.MAKESPAN)
+        if objective_value(schedule, Objective.MAKESPAN) > best + 1e-9:
+            found_gap = True
+            break
+    assert found_gap, "LS should be suboptimal on some heterogeneous instance"

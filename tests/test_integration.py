@@ -1,0 +1,102 @@
+"""End-to-end integration tests across modules.
+
+These tests tie several subsystems together the way the examples and the
+benchmark harness do: heuristics + engine + metrics over generated workloads,
+the cluster substrate feeding the experiment harness, the trace/export layer
+over real schedules, and the theory layer consuming the same engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.normalize import normalise_to_reference
+from repro.core.engine import simulate
+from repro.core.metrics import evaluate, makespan
+from repro.core.platform import PlatformKind
+from repro.core.trace import build_gantt, render_ascii_gantt
+from repro.mpi_sim import default_cluster, run_cluster_campaign
+from repro.schedulers import PAPER_HEURISTICS, create_scheduler
+from repro.theory import run_reactive_game, theorem1_adversary, theorem7_adversary
+from repro.workloads.platforms import PlatformSpec, random_platform
+from repro.workloads.release import all_at_zero, poisson_releases
+
+
+class TestHeuristicsOverGeneratedWorkloads:
+    @pytest.mark.parametrize("name", list(PAPER_HEURISTICS))
+    def test_every_paper_heuristic_completes_a_generated_campaign(self, name):
+        spec = PlatformSpec(kind=PlatformKind.HETEROGENEOUS, n_workers=4)
+        platform = random_platform(spec, rng=17)
+        tasks = all_at_zero(120)
+        schedule = simulate(create_scheduler(name), platform, tasks, expose_task_count=True)
+        schedule.validate()
+        metrics = evaluate(schedule)
+        assert metrics.n_tasks == 120
+        assert sum(metrics.worker_task_counts.values()) == 120
+
+    @pytest.mark.parametrize("name", ["SRPT", "LS", "SLJFWC"])
+    def test_online_arrivals(self, name):
+        spec = PlatformSpec(kind=PlatformKind.HETEROGENEOUS, n_workers=3)
+        platform = random_platform(spec, rng=23)
+        tasks = poisson_releases(80, rate=platform.steady_state_throughput(), rng=23)
+        schedule = simulate(create_scheduler(name), platform, tasks, expose_task_count=True)
+        schedule.validate()
+        for record in schedule:
+            assert record.send_start >= record.release - 1e-9
+
+    def test_heuristic_ranking_is_consistent_with_normalisation(self):
+        spec = PlatformSpec(kind=PlatformKind.HETEROGENEOUS, n_workers=5)
+        platform = random_platform(spec, rng=31)
+        tasks = all_at_zero(150)
+        raw = {}
+        for name in PAPER_HEURISTICS:
+            schedule = simulate(create_scheduler(name), platform, tasks, expose_task_count=True)
+            raw[name] = {"makespan": makespan(schedule)}
+        normalised = normalise_to_reference(raw, "SRPT")
+        for name in PAPER_HEURISTICS:
+            expected = raw[name]["makespan"] / raw["SRPT"]["makespan"]
+            assert normalised[name]["makespan"] == pytest.approx(expected)
+
+
+class TestTraceIntegration:
+    def test_gantt_of_a_real_campaign_run(self):
+        spec = PlatformSpec(kind=PlatformKind.COMPUTATION_HOMOGENEOUS, n_workers=3)
+        platform = random_platform(spec, rng=2)
+        schedule = simulate(create_scheduler("LS"), platform, all_at_zero(20))
+        chart = build_gantt(schedule)
+        assert chart.busy_time("master") == pytest.approx(
+            sum(r.comm_duration for r in schedule)
+        )
+        text = render_ascii_gantt(schedule, width=50)
+        assert len(text.splitlines()) == 1 + 1 + platform.n_workers  # header + master + workers
+
+
+class TestClusterToExperimentPipeline:
+    def test_cluster_campaign_preserves_heuristic_set(self):
+        cluster = default_cluster(rng=11)
+        result = run_cluster_campaign(
+            PlatformKind.COMPUTATION_HOMOGENEOUS,
+            n_tasks=80,
+            cluster=cluster,
+            rng=11,
+        )
+        assert set(result.metrics) == set(PAPER_HEURISTICS)
+        normalised = normalise_to_reference(result.metrics, "SRPT")
+        assert normalised["SRPT"]["makespan"] == pytest.approx(1.0)
+        # The communication-aware leaders of the paper stay at or below SRPT.
+        assert normalised["LS"]["makespan"] <= 1.0 + 1e-9
+        assert normalised["SLJFWC"]["makespan"] <= 1.0 + 1e-9
+
+
+class TestTheoryUsesTheSameEngine:
+    @pytest.mark.parametrize("name", ["SRPT", "LS", "RR", "SLJF"])
+    def test_theorem1_adversary_forces_every_heuristic(self, name):
+        outcome = run_reactive_game(theorem1_adversary(), lambda: create_scheduler(name))
+        assert outcome.ratio >= 1.25 - 1e-9
+
+    @pytest.mark.parametrize("name", ["SRPT", "LS", "RRC"])
+    def test_theorem7_adversary_forces_every_heuristic(self, name):
+        adversary = theorem7_adversary()
+        outcome = run_reactive_game(adversary, lambda: create_scheduler(name))
+        # At finite epsilon the certified value is marginally below (1+√3)/2.
+        assert outcome.ratio >= 1.36

@@ -1,0 +1,91 @@
+"""Unit tests for List Scheduling and the greedy-communication baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import simulate
+from repro.core.metrics import Objective, makespan, max_flow, sum_flow
+from repro.core.platform import Platform
+from repro.core.task import TaskSet
+from repro.schedulers.list_scheduling import GreedyCommunicationScheduler, ListScheduler
+from repro.schedulers.offline import optimal_value
+from repro.workloads.release import all_at_zero
+
+
+class TestListScheduler:
+    def test_sends_as_soon_as_port_is_free(self, homogeneous_platform, run_and_validate):
+        schedule = run_and_validate(ListScheduler(), homogeneous_platform, all_at_zero(8))
+        sends = sorted(schedule, key=lambda r: r.send_start)
+        for earlier, later in zip(sends, sends[1:]):
+            # Back-to-back sends: the port never idles while tasks are pending.
+            assert later.send_start == pytest.approx(earlier.send_end)
+
+    def test_picks_earliest_finishing_worker(self):
+        # Worker 0: c=1, p=10; worker 1: c=2, p=3.  A single task finishes
+        # earlier on worker 1 (5 < 11) even though its link is slower.
+        platform = Platform.from_times([1.0, 2.0], [10.0, 3.0])
+        schedule = simulate(ListScheduler(), platform, all_at_zero(1))
+        assert schedule[0].worker_id == 1
+
+    def test_accounts_for_backlog(self):
+        # After loading worker 1, the next task finishes earlier on worker 0.
+        platform = Platform.from_times([1.0, 1.0], [6.0, 3.0])
+        schedule = simulate(ListScheduler(), platform, all_at_zero(3))
+        workers = [r.worker_id for r in sorted(schedule, key=lambda r: r.send_start)]
+        assert workers[0] == 1          # fastest empty worker
+        assert 0 in workers             # the backlog pushes some work to P1
+
+    def test_optimal_on_small_homogeneous_instances(self):
+        # The introduction of the paper: FIFO list scheduling is optimal on
+        # fully homogeneous platforms for all three objectives.
+        platform = Platform.homogeneous(2, c=1.0, p=3.0)
+        tasks = TaskSet.from_releases([0.0, 0.5, 1.0, 4.0])
+        schedule = simulate(ListScheduler(), platform, tasks)
+        assert makespan(schedule) == pytest.approx(
+            optimal_value(platform, tasks, Objective.MAKESPAN)
+        )
+        assert sum_flow(schedule) == pytest.approx(
+            optimal_value(platform, tasks, Objective.SUM_FLOW)
+        )
+        assert max_flow(schedule) == pytest.approx(
+            optimal_value(platform, tasks, Objective.MAX_FLOW)
+        )
+
+    def test_near_optimal_on_small_heterogeneous_instances(self, heterogeneous_platform):
+        tasks = all_at_zero(5)
+        schedule = simulate(ListScheduler(), heterogeneous_platform, tasks)
+        best = optimal_value(heterogeneous_platform, tasks, Objective.MAKESPAN)
+        assert makespan(schedule) <= best * 1.5
+
+    def test_feasible_with_staggered_releases(self, heterogeneous_platform, staggered_tasks, run_and_validate):
+        run_and_validate(ListScheduler(), heterogeneous_platform, staggered_tasks)
+
+    def test_deterministic(self, heterogeneous_platform):
+        tasks = all_at_zero(30)
+        a = simulate(ListScheduler(), heterogeneous_platform, tasks)
+        b = simulate(ListScheduler(), heterogeneous_platform, tasks)
+        assert [r.worker_id for r in a] == [r.worker_id for r in b]
+
+
+class TestGreedyCommunication:
+    def test_prefers_cheapest_link_among_least_loaded(self, comp_homogeneous_platform, run_and_validate):
+        schedule = run_and_validate(
+            GreedyCommunicationScheduler(), comp_homogeneous_platform, all_at_zero(3)
+        )
+        first = min(schedule, key=lambda r: r.send_start)
+        assert first.worker_id == 0  # smallest c
+
+    def test_balances_backlog(self, comp_homogeneous_platform, run_and_validate):
+        schedule = run_and_validate(
+            GreedyCommunicationScheduler(), comp_homogeneous_platform, all_at_zero(9)
+        )
+        counts = schedule.worker_task_counts()
+        assert max(counts.values()) - min(counts.values()) <= 1
+
+    def test_ignores_processor_speeds(self):
+        # Worker 1 has a marginally cheaper link but is 100x slower; the
+        # greedy-communication baseline still prefers it for the first task.
+        platform = Platform.from_times([0.2, 0.1], [0.1, 10.0])
+        schedule = simulate(GreedyCommunicationScheduler(), platform, all_at_zero(1))
+        assert schedule[0].worker_id == 1

@@ -1,0 +1,74 @@
+"""Unit tests for the matrix-determinant cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TaskError
+from repro.mpi_sim.matrix_tasks import MatrixTaskModel
+
+
+class TestCostModel:
+    def test_message_bytes(self):
+        model = MatrixTaskModel(matrix_size=100, header_bytes=0.0)
+        assert model.message_bytes == pytest.approx(8 * 100 ** 2)
+
+    def test_header_added(self):
+        model = MatrixTaskModel(matrix_size=10, header_bytes=512.0)
+        assert model.message_bytes == pytest.approx(8 * 100 + 512)
+
+    def test_flops_cubic(self):
+        model = MatrixTaskModel(matrix_size=300)
+        assert model.flops == pytest.approx((2.0 / 3.0) * 300 ** 3)
+
+    def test_comm_time(self):
+        model = MatrixTaskModel(matrix_size=100, header_bytes=0.0)
+        assert model.comm_time(bandwidth=8e4, latency=0.5) == pytest.approx(0.5 + 1.0)
+
+    def test_comp_time(self):
+        model = MatrixTaskModel(matrix_size=100)
+        flops = model.flops
+        assert model.comp_time(flops_per_second=flops) == pytest.approx(1.0)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(TaskError):
+            MatrixTaskModel(matrix_size=0)
+
+    def test_negative_header_rejected(self):
+        with pytest.raises(TaskError):
+            MatrixTaskModel(matrix_size=10, header_bytes=-1.0)
+
+    def test_invalid_rates_rejected(self):
+        model = MatrixTaskModel(matrix_size=10)
+        with pytest.raises(TaskError):
+            model.comm_time(bandwidth=0.0)
+        with pytest.raises(TaskError):
+            model.comp_time(flops_per_second=-1.0)
+
+
+class TestInverseMappings:
+    def test_size_for_comp_time_reaches_target(self):
+        speed = 1e9
+        size = MatrixTaskModel.size_for_comp_time(0.5, speed)
+        assert MatrixTaskModel(matrix_size=size).comp_time(speed) >= 0.5
+
+    def test_size_for_comp_time_is_tight(self):
+        speed = 1e9
+        size = MatrixTaskModel.size_for_comp_time(0.5, speed)
+        smaller = MatrixTaskModel(matrix_size=max(size - 2, 1))
+        assert smaller.comp_time(speed) < 0.5 or size <= 3
+
+    def test_size_for_comm_time_reaches_target(self):
+        bandwidth = 1e7
+        size = MatrixTaskModel.size_for_comm_time(0.2, bandwidth, header_bytes=512.0)
+        model = MatrixTaskModel(matrix_size=size, header_bytes=512.0)
+        assert model.comm_time(bandwidth) >= 0.2 * 0.99
+
+    def test_invalid_targets_rejected(self):
+        with pytest.raises(TaskError):
+            MatrixTaskModel.size_for_comp_time(0.0, 1e9)
+        with pytest.raises(TaskError):
+            MatrixTaskModel.size_for_comm_time(1.0, 0.0)
+
+    def test_minimum_size_is_one(self):
+        assert MatrixTaskModel.size_for_comp_time(1e-12, 1e12) >= 1

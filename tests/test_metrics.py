@@ -1,0 +1,117 @@
+"""Unit tests for the objective functions (:mod:`repro.core.metrics`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import simulate
+from repro.core.metrics import (
+    Objective,
+    evaluate,
+    makespan,
+    max_flow,
+    mean_flow,
+    objective_value,
+    sum_completion,
+    sum_flow,
+)
+from repro.core.platform import Platform
+from repro.core.schedule import Schedule
+from repro.core.task import TaskSet
+from repro.exceptions import SchedulingError
+from repro.schedulers.random_policy import FixedAssignmentScheduler
+from repro.workloads.release import all_at_zero
+
+
+@pytest.fixture
+def simple_schedule():
+    """Two tasks on two slaves, hand-checkable numbers."""
+    platform = Platform.from_times([1.0, 1.0], [3.0, 7.0])
+    tasks = TaskSet.from_releases([0.0, 1.0])
+    return simulate(FixedAssignmentScheduler([0, 1]), platform, tasks)
+
+
+class TestObjectives:
+    def test_makespan(self, simple_schedule):
+        # Task 0: c+p1 = 4; task 1: sent [1,2], computes [2,9].
+        assert makespan(simple_schedule) == pytest.approx(9.0)
+
+    def test_max_flow(self, simple_schedule):
+        # Flows: 4 - 0 = 4 and 9 - 1 = 8.
+        assert max_flow(simple_schedule) == pytest.approx(8.0)
+
+    def test_sum_flow(self, simple_schedule):
+        assert sum_flow(simple_schedule) == pytest.approx(12.0)
+
+    def test_mean_flow(self, simple_schedule):
+        assert mean_flow(simple_schedule) == pytest.approx(6.0)
+
+    def test_sum_completion_is_sum_flow_plus_releases(self, simple_schedule):
+        total_release = simple_schedule.tasks.total_release_time
+        assert sum_completion(simple_schedule) == pytest.approx(
+            sum_flow(simple_schedule) + total_release
+        )
+
+    def test_objective_value_dispatch(self, simple_schedule):
+        assert objective_value(simple_schedule, Objective.MAKESPAN) == makespan(simple_schedule)
+        assert objective_value(simple_schedule, Objective.MAX_FLOW) == max_flow(simple_schedule)
+        assert objective_value(simple_schedule, Objective.SUM_FLOW) == sum_flow(simple_schedule)
+
+    def test_zero_release_makes_flows_equal_completions(self):
+        platform = Platform.from_times([0.5], [1.0])
+        schedule = simulate(FixedAssignmentScheduler([0, 0]), platform, all_at_zero(2))
+        assert max_flow(schedule) == pytest.approx(makespan(schedule))
+
+    def test_empty_schedule_rejected(self):
+        platform = Platform.from_times([1.0], [1.0])
+        schedule = Schedule(platform, TaskSet([]), [])
+        with pytest.raises(SchedulingError):
+            makespan(schedule)
+        with pytest.raises(SchedulingError):
+            evaluate(schedule)
+
+
+class TestEvaluate:
+    def test_all_fields_consistent(self, simple_schedule):
+        metrics = evaluate(simple_schedule)
+        assert metrics.n_tasks == 2
+        assert metrics.makespan == pytest.approx(makespan(simple_schedule))
+        assert metrics.max_flow == pytest.approx(max_flow(simple_schedule))
+        assert metrics.sum_flow == pytest.approx(sum_flow(simple_schedule))
+        assert metrics.mean_flow == pytest.approx(mean_flow(simple_schedule))
+        assert metrics.value(Objective.MAKESPAN) == metrics.makespan
+        assert metrics.value(Objective.MAX_FLOW) == metrics.max_flow
+        assert metrics.value(Objective.SUM_FLOW) == metrics.sum_flow
+
+    def test_master_utilisation(self, simple_schedule):
+        metrics = evaluate(simple_schedule)
+        # Two sends of 1s each over a 9s horizon.
+        assert metrics.master_utilisation == pytest.approx(2.0 / 9.0)
+
+    def test_worker_utilisation(self, simple_schedule):
+        metrics = evaluate(simple_schedule)
+        assert metrics.worker_utilisation[0] == pytest.approx(3.0 / 9.0)
+        assert metrics.worker_utilisation[1] == pytest.approx(7.0 / 9.0)
+
+    def test_worker_task_counts(self, simple_schedule):
+        assert evaluate(simple_schedule).worker_task_counts == {0: 1, 1: 1}
+
+    def test_unused_worker_has_zero_utilisation(self):
+        platform = Platform.from_times([1.0, 1.0], [2.0, 2.0])
+        schedule = simulate(FixedAssignmentScheduler([0]), platform, all_at_zero(1))
+        metrics = evaluate(schedule)
+        assert metrics.worker_utilisation[1] == 0.0
+        assert metrics.worker_task_counts[1] == 0
+
+    def test_mean_queue_wait(self):
+        # Both tasks on one slave: the second waits for the first to finish.
+        platform = Platform.from_times([1.0], [5.0])
+        schedule = simulate(FixedAssignmentScheduler([0, 0]), platform, all_at_zero(2))
+        metrics = evaluate(schedule)
+        # Task 1 arrives at 2 and starts at 6: waits 4; task 0 waits 0.
+        assert metrics.mean_queue_wait == pytest.approx(2.0)
+
+    def test_as_dict_round_trip(self, simple_schedule):
+        flat = evaluate(simple_schedule).as_dict()
+        assert flat["makespan"] == pytest.approx(9.0)
+        assert set(flat) >= {"makespan", "sum_flow", "max_flow", "mean_flow"}

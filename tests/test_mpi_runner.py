@@ -1,0 +1,69 @@
+"""Unit tests for the cluster campaign runner (:mod:`repro.mpi_sim.runner`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.platform import Platform, PlatformKind
+from repro.exceptions import ExperimentError
+from repro.mpi_sim.runner import run_cluster_campaign, run_heuristics_on_platform
+from repro.workloads.release import all_at_zero
+
+
+class TestRunHeuristicsOnPlatform:
+    @pytest.fixture
+    def platform(self):
+        return Platform.from_times([0.2, 0.5, 1.0], [1.0, 2.0, 4.0])
+
+    def test_metrics_per_heuristic(self, platform):
+        results = run_heuristics_on_platform(platform, all_at_zero(40), ("SRPT", "LS"))
+        assert set(results) == {"SRPT", "LS"}
+        for metrics in results.values():
+            assert set(metrics) == {"makespan", "sum_flow", "max_flow"}
+            assert all(value > 0 for value in metrics.values())
+
+    def test_empty_heuristic_list_rejected(self, platform):
+        with pytest.raises(ExperimentError):
+            run_heuristics_on_platform(platform, all_at_zero(5), ())
+
+    def test_results_are_deterministic(self, platform):
+        tasks = all_at_zero(30)
+        a = run_heuristics_on_platform(platform, tasks, ("LS",))
+        b = run_heuristics_on_platform(platform, tasks, ("LS",))
+        assert a == b
+
+    def test_makespan_at_least_flow_lower_bound(self, platform):
+        results = run_heuristics_on_platform(platform, all_at_zero(20), ("LS",))
+        metrics = results["LS"]
+        # With all releases at zero, max-flow equals makespan and sum-flow is
+        # at least the makespan.
+        assert metrics["max_flow"] == pytest.approx(metrics["makespan"])
+        assert metrics["sum_flow"] >= metrics["makespan"]
+
+
+class TestRunClusterCampaign:
+    def test_default_campaign(self):
+        result = run_cluster_campaign(
+            PlatformKind.COMMUNICATION_HOMOGENEOUS, n_tasks=60, rng=0
+        )
+        assert result.platform.n_workers == 5
+        assert set(result.metrics) == {"SRPT", "LS", "RR", "RRC", "RRP", "SLJF", "SLJFWC"}
+
+    def test_custom_heuristics_subset(self):
+        result = run_cluster_campaign(
+            PlatformKind.HETEROGENEOUS, n_tasks=40, heuristics=("SRPT", "LS"), rng=1
+        )
+        assert set(result.metrics) == {"SRPT", "LS"}
+
+    def test_explicit_tasks_override(self):
+        tasks = all_at_zero(25)
+        result = run_cluster_campaign(
+            PlatformKind.HETEROGENEOUS, heuristics=("LS",), rng=2, tasks=tasks
+        )
+        assert result.metrics["LS"]["makespan"] > 0
+
+    def test_reproducible_with_seed(self):
+        a = run_cluster_campaign(PlatformKind.HETEROGENEOUS, n_tasks=30, heuristics=("LS",), rng=7)
+        b = run_cluster_campaign(PlatformKind.HETEROGENEOUS, n_tasks=30, heuristics=("LS",), rng=7)
+        assert a.metrics == b.metrics
+        assert a.calibration.comm_multipliers == b.calibration.comm_multipliers

@@ -1,0 +1,70 @@
+"""Unit tests for the network model of the simulated cluster."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import PlatformError
+from repro.mpi_sim.network import FAST_ETHERNET_BYTES_PER_S, EthernetSwitch, NetworkLink
+
+
+class TestNetworkLink:
+    def test_valid_link(self):
+        link = NetworkLink(nic_bandwidth=1e7, latency=1e-4)
+        assert link.nic_bandwidth == 1e7
+
+    @pytest.mark.parametrize("bandwidth", [0.0, -1.0])
+    def test_invalid_bandwidth_rejected(self, bandwidth):
+        with pytest.raises(PlatformError):
+            NetworkLink(nic_bandwidth=bandwidth)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(PlatformError):
+            NetworkLink(nic_bandwidth=1e6, latency=-1.0)
+
+
+class TestEthernetSwitch:
+    def test_fast_ethernet_constant(self):
+        assert FAST_ETHERNET_BYTES_PER_S == pytest.approx(12.5e6)
+
+    def test_effective_bandwidth_capped_by_switch(self):
+        switch = EthernetSwitch([NetworkLink(nic_bandwidth=1e9)], switch_bandwidth=1e7)
+        assert switch.effective_bandwidth(0) == pytest.approx(1e7)
+
+    def test_effective_bandwidth_capped_by_nic(self):
+        switch = EthernetSwitch([NetworkLink(nic_bandwidth=1e6)], switch_bandwidth=1e7)
+        assert switch.effective_bandwidth(0) == pytest.approx(1e6)
+
+    def test_transfer_time_affine_model(self):
+        link = NetworkLink(nic_bandwidth=1e6, latency=0.01)
+        switch = EthernetSwitch([link], switch_bandwidth=1e8)
+        assert switch.transfer_time(0, 5e5) == pytest.approx(0.01 + 0.5)
+
+    def test_transfer_time_of_empty_message_is_latency(self):
+        link = NetworkLink(nic_bandwidth=1e6, latency=0.02)
+        switch = EthernetSwitch([link])
+        assert switch.transfer_time(0, 0.0) == pytest.approx(0.02)
+
+    def test_negative_message_rejected(self):
+        switch = EthernetSwitch([NetworkLink(nic_bandwidth=1e6)])
+        with pytest.raises(PlatformError):
+            switch.transfer_time(0, -1.0)
+
+    def test_unknown_slave_rejected(self):
+        switch = EthernetSwitch([NetworkLink(nic_bandwidth=1e6)])
+        with pytest.raises(PlatformError):
+            switch.transfer_time(3, 100.0)
+
+    def test_empty_switch_rejected(self):
+        with pytest.raises(PlatformError):
+            EthernetSwitch([])
+
+    def test_invalid_switch_bandwidth_rejected(self):
+        with pytest.raises(PlatformError):
+            EthernetSwitch([NetworkLink(nic_bandwidth=1e6)], switch_bandwidth=0.0)
+
+    def test_describe(self):
+        switch = EthernetSwitch([NetworkLink(nic_bandwidth=1e6), NetworkLink(nic_bandwidth=2e6)])
+        description = switch.describe()
+        assert len(description["links"]) == 2
+        assert len(switch) == 2

@@ -1,0 +1,65 @@
+"""Unit tests for the normalisation helpers (:mod:`repro.analysis.normalize`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.normalize import normalise_to_reference, ratio_to_baseline
+from repro.exceptions import ExperimentError
+
+
+@pytest.fixture
+def raw_values():
+    return {
+        "SRPT": {"makespan": 10.0, "sum_flow": 100.0},
+        "LS": {"makespan": 8.0, "sum_flow": 90.0},
+    }
+
+
+class TestNormaliseToReference:
+    def test_reference_becomes_one(self, raw_values):
+        normalised = normalise_to_reference(raw_values, "SRPT")
+        assert normalised["SRPT"] == {"makespan": 1.0, "sum_flow": 1.0}
+
+    def test_other_rows_scaled(self, raw_values):
+        normalised = normalise_to_reference(raw_values, "SRPT")
+        assert normalised["LS"]["makespan"] == pytest.approx(0.8)
+        assert normalised["LS"]["sum_flow"] == pytest.approx(0.9)
+
+    def test_missing_reference_rejected(self, raw_values):
+        with pytest.raises(ExperimentError):
+            normalise_to_reference(raw_values, "RR")
+
+    def test_missing_metric_in_reference_rejected(self):
+        values = {"SRPT": {"makespan": 1.0}, "LS": {"makespan": 1.0, "extra": 2.0}}
+        with pytest.raises(ExperimentError):
+            normalise_to_reference(values, "SRPT")
+
+    def test_zero_reference_rejected(self):
+        values = {"SRPT": {"makespan": 0.0}, "LS": {"makespan": 1.0}}
+        with pytest.raises(ExperimentError):
+            normalise_to_reference(values, "SRPT")
+
+
+class TestRatioToBaseline:
+    def test_ratios(self, raw_values):
+        perturbed = {
+            "SRPT": {"makespan": 11.0, "sum_flow": 120.0},
+            "LS": {"makespan": 8.0, "sum_flow": 99.0},
+        }
+        ratios = ratio_to_baseline(perturbed, raw_values)
+        assert ratios["SRPT"]["makespan"] == pytest.approx(1.1)
+        assert ratios["LS"]["sum_flow"] == pytest.approx(1.1)
+
+    def test_missing_algorithm_rejected(self, raw_values):
+        with pytest.raises(ExperimentError):
+            ratio_to_baseline({"RR": {"makespan": 1.0}}, raw_values)
+
+    def test_missing_metric_rejected(self, raw_values):
+        with pytest.raises(ExperimentError):
+            ratio_to_baseline({"SRPT": {"other": 1.0}}, raw_values)
+
+    def test_zero_baseline_rejected(self):
+        baseline = {"SRPT": {"makespan": 0.0}}
+        with pytest.raises(ExperimentError):
+            ratio_to_baseline({"SRPT": {"makespan": 1.0}}, baseline)

@@ -1,0 +1,60 @@
+"""Unit tests for the task-size perturbation (Figure 2 workload)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import TaskError
+from repro.workloads.perturbation import PAPER_PERTURBATION_AMPLITUDE, perturb_task_sizes
+from repro.workloads.release import all_at_zero
+
+
+class TestPerturbation:
+    def test_paper_amplitude_is_ten_percent(self):
+        assert PAPER_PERTURBATION_AMPLITUDE == pytest.approx(0.10)
+
+    def test_factors_within_bounds(self):
+        tasks = perturb_task_sizes(all_at_zero(200), amplitude=0.1, rng=0)
+        for task in tasks:
+            assert 0.9 <= task.comm_factor <= 1.1
+            assert 0.9 <= task.comp_factor <= 1.1
+
+    def test_coupled_mode_scales_both_dimensions_identically(self):
+        tasks = perturb_task_sizes(all_at_zero(50), rng=1, coupled=True)
+        for task in tasks:
+            assert task.comm_factor == pytest.approx(task.comp_factor)
+
+    def test_independent_mode_decouples_dimensions(self):
+        tasks = perturb_task_sizes(all_at_zero(50), rng=1, coupled=False)
+        assert any(
+            abs(task.comm_factor - task.comp_factor) > 1e-6 for task in tasks
+        )
+
+    def test_releases_unchanged(self):
+        from repro.core.task import TaskSet
+
+        base = TaskSet.from_releases([0.0, 1.0, 5.0])
+        perturbed = perturb_task_sizes(base, rng=2)
+        assert perturbed.releases == base.releases
+        assert perturbed.task_ids == base.task_ids
+
+    def test_zero_amplitude_keeps_tasks_identical(self):
+        tasks = perturb_task_sizes(all_at_zero(10), amplitude=0.0, rng=3)
+        assert tasks.all_identical
+
+    def test_reproducible_with_seed(self):
+        a = perturb_task_sizes(all_at_zero(30), rng=9)
+        b = perturb_task_sizes(all_at_zero(30), rng=9)
+        assert [t.comm_factor for t in a] == [t.comm_factor for t in b]
+
+    def test_invalid_amplitude_rejected(self):
+        with pytest.raises(TaskError):
+            perturb_task_sizes(all_at_zero(5), amplitude=1.5)
+        with pytest.raises(TaskError):
+            perturb_task_sizes(all_at_zero(5), amplitude=-0.1)
+
+    def test_empty_task_set_rejected(self):
+        from repro.core.task import TaskSet
+
+        with pytest.raises(TaskError):
+            perturb_task_sizes(TaskSet([]))

@@ -1,0 +1,152 @@
+"""Unit tests for the platform model (:mod:`repro.core.platform`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.platform import Platform, PlatformKind, Worker
+from repro.exceptions import PlatformError
+
+
+class TestWorker:
+    def test_default_name_is_paper_notation(self):
+        worker = Worker(worker_id=0, c=1.0, p=2.0)
+        assert worker.name == "P1"
+
+    def test_explicit_name_kept(self):
+        worker = Worker(worker_id=1, c=1.0, p=2.0, name="gondor")
+        assert worker.name == "gondor"
+
+    @pytest.mark.parametrize("c", [0.0, -1.0])
+    def test_non_positive_comm_rejected(self, c):
+        with pytest.raises(PlatformError):
+            Worker(worker_id=0, c=c, p=1.0)
+
+    @pytest.mark.parametrize("p", [0.0, -3.0])
+    def test_non_positive_comp_rejected(self, p):
+        with pytest.raises(PlatformError):
+            Worker(worker_id=0, c=1.0, p=p)
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(PlatformError):
+            Worker(worker_id=-1, c=1.0, p=1.0)
+
+    def test_turnaround(self):
+        assert Worker(worker_id=0, c=0.5, p=2.5).turnaround == pytest.approx(3.0)
+
+    def test_scaled_times(self):
+        worker = Worker(worker_id=0, c=0.5, p=2.0)
+        assert worker.comm_time(2.0) == pytest.approx(1.0)
+        assert worker.comp_time(0.5) == pytest.approx(1.0)
+
+
+class TestPlatformConstruction:
+    def test_from_times(self):
+        platform = Platform.from_times([1.0, 2.0], [3.0, 4.0])
+        assert platform.n_workers == 2
+        assert platform.comm_times == [1.0, 2.0]
+        assert platform.comp_times == [3.0, 4.0]
+
+    def test_from_times_length_mismatch(self):
+        with pytest.raises(PlatformError):
+            Platform.from_times([1.0], [1.0, 2.0])
+
+    def test_empty_platform_rejected(self):
+        with pytest.raises(PlatformError):
+            Platform([])
+
+    def test_worker_ids_must_be_contiguous(self):
+        workers = [Worker(worker_id=0, c=1, p=1), Worker(worker_id=2, c=1, p=1)]
+        with pytest.raises(PlatformError):
+            Platform(workers)
+
+    def test_homogeneous_constructor(self):
+        platform = Platform.homogeneous(3, c=0.4, p=1.5)
+        assert platform.kind is PlatformKind.HOMOGENEOUS
+        assert platform.n_workers == 3
+
+    def test_indexing_and_iteration(self):
+        platform = Platform.from_times([1.0, 2.0], [3.0, 4.0])
+        assert platform[1].c == 2.0
+        assert [w.worker_id for w in platform] == [0, 1]
+        with pytest.raises(PlatformError):
+            _ = platform[7]
+
+    def test_equality(self):
+        a = Platform.from_times([1.0], [2.0])
+        b = Platform.from_times([1.0], [2.0])
+        c = Platform.from_times([1.0], [3.0])
+        assert a == b
+        assert a != c
+
+
+class TestClassification:
+    def test_homogeneous(self):
+        assert Platform.from_times([1, 1], [2, 2]).kind is PlatformKind.HOMOGENEOUS
+
+    def test_communication_homogeneous(self):
+        platform = Platform.from_times([1, 1], [2, 5])
+        assert platform.kind is PlatformKind.COMMUNICATION_HOMOGENEOUS
+        assert platform.communication_homogeneous
+        assert not platform.computation_homogeneous
+
+    def test_computation_homogeneous(self):
+        platform = Platform.from_times([0.5, 2.0], [3, 3])
+        assert platform.kind is PlatformKind.COMPUTATION_HOMOGENEOUS
+
+    def test_heterogeneous(self):
+        assert Platform.from_times([1, 2], [3, 4]).kind is PlatformKind.HETEROGENEOUS
+
+    def test_single_worker_is_homogeneous(self):
+        assert Platform.from_times([1.0], [5.0]).kind is PlatformKind.HOMOGENEOUS
+
+    def test_heterogeneity_indices(self):
+        platform = Platform.from_times([0.5, 1.0], [2.0, 8.0])
+        assert platform.communication_heterogeneity == pytest.approx(2.0)
+        assert platform.computation_heterogeneity == pytest.approx(4.0)
+
+
+class TestOrderings:
+    @pytest.fixture
+    def platform(self):
+        # c: P1=0.9, P2=0.1, P3=0.5 ; p: P1=1.0, P2=4.0, P3=2.0
+        return Platform.from_times([0.9, 0.1, 0.5], [1.0, 4.0, 2.0])
+
+    def test_order_by_comm(self, platform):
+        assert platform.order_by_comm() == [1, 2, 0]
+
+    def test_order_by_comp(self, platform):
+        assert platform.order_by_comp() == [0, 2, 1]
+
+    def test_order_by_turnaround(self, platform):
+        # turnarounds: 1.9, 4.1, 2.5
+        assert platform.order_by_turnaround() == [0, 2, 1]
+
+    def test_ties_broken_by_index(self):
+        platform = Platform.from_times([1.0, 1.0], [2.0, 2.0])
+        assert platform.order_by_comm() == [0, 1]
+        assert platform.order_by_comp() == [0, 1]
+
+    def test_fastest_worker(self, platform):
+        assert platform.fastest_worker().worker_id == 0
+
+
+class TestAggregates:
+    def test_total_speed(self):
+        platform = Platform.from_times([1, 1], [2.0, 4.0])
+        assert platform.total_speed == pytest.approx(0.5 + 0.25)
+
+    def test_steady_state_throughput_port_bound(self):
+        # Injection limit 1/0.5 = 2 tasks/s < absorption 1/0.1*2 = 20.
+        platform = Platform.from_times([0.5, 0.5], [0.1, 0.1])
+        assert platform.steady_state_throughput() == pytest.approx(2.0)
+
+    def test_steady_state_throughput_compute_bound(self):
+        platform = Platform.from_times([0.01, 0.01], [10.0, 10.0])
+        assert platform.steady_state_throughput() == pytest.approx(0.2)
+
+    def test_describe_keys(self):
+        description = Platform.from_times([1, 2], [3, 4]).describe()
+        assert description["n_workers"] == 2
+        assert description["kind"] == "heterogeneous"
+        assert "steady_state_throughput" in description

@@ -1,0 +1,107 @@
+"""Unit tests for random platform generation (:mod:`repro.workloads.platforms`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.platform import PlatformKind
+from repro.exceptions import PlatformError
+from repro.workloads.platforms import (
+    PAPER_COMM_RANGE,
+    PAPER_COMP_RANGE,
+    PAPER_N_PLATFORMS,
+    PAPER_N_WORKERS,
+    PlatformSpec,
+    platform_campaign,
+    random_platform,
+)
+
+
+class TestPaperConstants:
+    def test_section_4_2_values(self):
+        assert PAPER_N_WORKERS == 5
+        assert PAPER_N_PLATFORMS == 10
+        assert PAPER_COMM_RANGE == (0.01, 1.0)
+        assert PAPER_COMP_RANGE == (0.1, 8.0)
+
+
+class TestPlatformSpec:
+    def test_defaults_follow_paper(self):
+        spec = PlatformSpec(kind=PlatformKind.HETEROGENEOUS)
+        assert spec.n_workers == 5
+        assert spec.comm_range == PAPER_COMM_RANGE
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(PlatformError):
+            PlatformSpec(kind=PlatformKind.HOMOGENEOUS, n_workers=0)
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(PlatformError):
+            PlatformSpec(kind=PlatformKind.HOMOGENEOUS, comm_range=(1.0, 0.5))
+        with pytest.raises(PlatformError):
+            PlatformSpec(kind=PlatformKind.HOMOGENEOUS, comp_range=(0.0, 1.0))
+
+
+class TestRandomPlatform:
+    @pytest.mark.parametrize(
+        "kind",
+        [
+            PlatformKind.HOMOGENEOUS,
+            PlatformKind.COMMUNICATION_HOMOGENEOUS,
+            PlatformKind.COMPUTATION_HOMOGENEOUS,
+            PlatformKind.HETEROGENEOUS,
+        ],
+    )
+    def test_generated_platform_has_requested_kind(self, kind):
+        spec = PlatformSpec(kind=kind)
+        for seed in range(5):
+            platform = random_platform(spec, rng=seed)
+            generated = platform.kind
+            if kind is PlatformKind.HETEROGENEOUS:
+                # A random draw is heterogeneous with probability one.
+                assert generated is PlatformKind.HETEROGENEOUS
+            else:
+                assert generated is kind
+
+    def test_values_within_ranges(self):
+        spec = PlatformSpec(kind=PlatformKind.HETEROGENEOUS)
+        platform = random_platform(spec, rng=0)
+        for c in platform.comm_times:
+            assert PAPER_COMM_RANGE[0] <= c <= PAPER_COMM_RANGE[1]
+        for p in platform.comp_times:
+            assert PAPER_COMP_RANGE[0] <= p <= PAPER_COMP_RANGE[1]
+
+    def test_reproducible_with_seed(self):
+        spec = PlatformSpec(kind=PlatformKind.HETEROGENEOUS)
+        assert random_platform(spec, rng=3) == random_platform(spec, rng=3)
+
+    def test_custom_ranges(self):
+        spec = PlatformSpec(
+            kind=PlatformKind.HETEROGENEOUS, comm_range=(5.0, 6.0), comp_range=(7.0, 8.0)
+        )
+        platform = random_platform(spec, rng=0)
+        assert all(5.0 <= c <= 6.0 for c in platform.comm_times)
+        assert all(7.0 <= p <= 8.0 for p in platform.comp_times)
+
+
+class TestPlatformCampaign:
+    def test_campaign_size_and_kind(self):
+        platforms = platform_campaign(PlatformKind.COMMUNICATION_HOMOGENEOUS, rng=1)
+        assert len(platforms) == PAPER_N_PLATFORMS
+        assert all(p.n_workers == PAPER_N_WORKERS for p in platforms)
+        assert all(p.communication_homogeneous for p in platforms)
+
+    def test_platforms_are_distinct(self):
+        platforms = platform_campaign(PlatformKind.HETEROGENEOUS, rng=1)
+        assert len({tuple(p.comm_times) for p in platforms}) == len(platforms)
+
+    def test_shared_generator_advances(self):
+        rng = np.random.default_rng(0)
+        first = platform_campaign(PlatformKind.HETEROGENEOUS, n_platforms=2, rng=rng)
+        second = platform_campaign(PlatformKind.HETEROGENEOUS, n_platforms=2, rng=rng)
+        assert first[0] != second[0]
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(PlatformError):
+            platform_campaign(PlatformKind.HOMOGENEOUS, n_platforms=0)

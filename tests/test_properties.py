@@ -1,0 +1,129 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+The properties cover what must hold for *every* platform, task set and
+policy, rather than for hand-picked examples:
+
+* every schedule produced by the engine is feasible (one-port, release
+  dates, per-worker exclusivity) and complete;
+* the three objectives respect their structural relations (makespan ≤
+  max-flow + max release, sum-flow ≥ n × min flow, ...);
+* the off-line brute force never does worse than any on-line heuristic;
+* the SLJF backward plan always covers exactly the requested horizon.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import simulate
+from repro.core.metrics import Objective, makespan, max_flow, sum_flow
+from repro.core.platform import Platform
+from repro.core.task import TaskSet
+from repro.schedulers import (
+    ListScheduler,
+    RandomScheduler,
+    RoundRobin,
+    SLJFWCScheduler,
+    SRPTScheduler,
+)
+from repro.schedulers.offline import optimal_value
+from repro.schedulers.sljf import backward_plan
+
+# -- strategies --------------------------------------------------------------
+positive_time = st.floats(min_value=0.05, max_value=10.0, allow_nan=False, allow_infinity=False)
+
+platforms = st.builds(
+    lambda comm, comp: Platform.from_times(comm[: len(comp)], comp[: len(comm)]),
+    st.lists(positive_time, min_size=1, max_size=4),
+    st.lists(positive_time, min_size=1, max_size=4),
+)
+
+release_lists = st.lists(
+    st.floats(min_value=0.0, max_value=20.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=8,
+)
+
+scheduler_factories = st.sampled_from(
+    [SRPTScheduler, ListScheduler, RoundRobin, SLJFWCScheduler, lambda: RandomScheduler(seed=0)]
+)
+
+_SETTINGS = settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+@_SETTINGS
+@given(platform=platforms, releases=release_lists, factory=scheduler_factories)
+def test_every_schedule_is_feasible_and_complete(platform, releases, factory):
+    tasks = TaskSet.from_releases(releases)
+    schedule = simulate(factory(), platform, tasks, expose_task_count=True)
+    schedule.validate()
+    assert schedule.is_complete
+    assert len(schedule) == len(tasks)
+
+
+@_SETTINGS
+@given(platform=platforms, releases=release_lists, factory=scheduler_factories)
+def test_objective_relations(platform, releases, factory):
+    tasks = TaskSet.from_releases(releases)
+    schedule = simulate(factory(), platform, tasks, expose_task_count=True)
+    mk, mf, sf = makespan(schedule), max_flow(schedule), sum_flow(schedule)
+    n = len(tasks)
+    # Any completion is at least c_min + p_min after the task's release.
+    min_service = min(w.c for w in platform) + min(w.p for w in platform)
+    assert mf >= min_service - 1e-9
+    assert sf >= n * min_service - 1e-9
+    # The makespan is bounded by the last release plus the maximum flow, and
+    # the sum-flow by n times the maximum flow.
+    assert mk <= tasks.last_release + mf + 1e-9
+    assert sf <= n * mf + 1e-9
+    # Everything is finite and positive.
+    assert all(math.isfinite(v) and v > 0 for v in (mk, mf, sf))
+
+
+@_SETTINGS
+@given(platform=platforms, releases=st.lists(
+    st.floats(min_value=0.0, max_value=5.0, allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=4,
+), factory=scheduler_factories)
+def test_online_heuristics_never_beat_offline_optimum(platform, releases, factory):
+    tasks = TaskSet.from_releases(releases)
+    schedule = simulate(factory(), platform, tasks, expose_task_count=True)
+    assert makespan(schedule) >= optimal_value(platform, tasks, Objective.MAKESPAN) - 1e-9
+    assert sum_flow(schedule) >= optimal_value(platform, tasks, Objective.SUM_FLOW) - 1e-9
+    assert max_flow(schedule) >= optimal_value(platform, tasks, Objective.MAX_FLOW) - 1e-9
+
+
+@_SETTINGS
+@given(platform=platforms, n_tasks=st.integers(min_value=0, max_value=50),
+       with_comm=st.booleans())
+def test_backward_plan_covers_the_horizon(platform, n_tasks, with_comm):
+    plan = backward_plan(platform, n_tasks, with_communication=with_comm)
+    assert len(plan) == n_tasks
+    assert all(0 <= worker < platform.n_workers for worker in plan)
+    if n_tasks >= platform.n_workers * 3:
+        # Long horizons use every worker at least once for SLJF (balanced
+        # compute counts); SLJFWC may legitimately skip very expensive links,
+        # so only check the communication-oblivious plan.
+        if not with_comm:
+            assert len(set(plan)) == platform.n_workers
+
+
+@_SETTINGS
+@given(releases=release_lists, factor=st.floats(min_value=1.0, max_value=3.0))
+def test_uniform_task_scaling_scales_single_worker_makespan(releases, factor):
+    """On a single worker, scaling every task by a factor scales the makespan
+    of the FIFO schedule by at most that factor (and at least by 1)."""
+    platform = Platform.from_times([1.0], [2.0])
+    tasks = TaskSet.from_releases(releases)
+    scaled = tasks.with_factors(
+        comm_factors=[factor] * len(tasks), comp_factors=[factor] * len(tasks)
+    )
+    base = makespan(simulate(ListScheduler(), platform, tasks))
+    scaled_mk = makespan(simulate(ListScheduler(), platform, scaled))
+    assert scaled_mk <= base * factor + 1e-9
+    assert scaled_mk >= base - 1e-9

@@ -1,0 +1,69 @@
+"""Unit tests for the random / fixed-assignment baseline policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import simulate
+from repro.core.platform import Platform
+from repro.exceptions import SchedulingError
+from repro.schedulers.random_policy import (
+    FixedAssignmentScheduler,
+    RandomScheduler,
+    SingleWorkerScheduler,
+)
+from repro.workloads.release import all_at_zero
+
+
+class TestRandomScheduler:
+    def test_reproducible_with_seed(self, heterogeneous_platform):
+        tasks = all_at_zero(20)
+        a = simulate(RandomScheduler(seed=5), heterogeneous_platform, tasks)
+        b = simulate(RandomScheduler(seed=5), heterogeneous_platform, tasks)
+        assert [r.worker_id for r in a] == [r.worker_id for r in b]
+
+    def test_different_seeds_differ(self, heterogeneous_platform):
+        tasks = all_at_zero(30)
+        a = simulate(RandomScheduler(seed=1), heterogeneous_platform, tasks)
+        b = simulate(RandomScheduler(seed=2), heterogeneous_platform, tasks)
+        assert [r.worker_id for r in a] != [r.worker_id for r in b]
+
+    def test_reset_reseeds(self, heterogeneous_platform):
+        scheduler = RandomScheduler(seed=9)
+        tasks = all_at_zero(15)
+        first = simulate(scheduler, heterogeneous_platform, tasks)
+        second = simulate(scheduler, heterogeneous_platform, tasks)
+        assert [r.worker_id for r in first] == [r.worker_id for r in second]
+
+    def test_feasible(self, heterogeneous_platform, run_and_validate):
+        run_and_validate(RandomScheduler(seed=0), heterogeneous_platform, all_at_zero(25))
+
+
+class TestFixedAssignment:
+    def test_replays_assignment(self, heterogeneous_platform):
+        assignment = [3, 1, 0, 2, 2]
+        schedule = simulate(
+            FixedAssignmentScheduler(assignment), heterogeneous_platform, all_at_zero(5)
+        )
+        sent = [r.worker_id for r in sorted(schedule, key=lambda r: r.send_start)]
+        assert sent == assignment
+
+    def test_unknown_worker_rejected_at_reset(self, homogeneous_platform):
+        with pytest.raises(SchedulingError):
+            simulate(FixedAssignmentScheduler([7]), homogeneous_platform, all_at_zero(1))
+
+    def test_too_few_positions_rejected(self, homogeneous_platform):
+        with pytest.raises(SchedulingError):
+            simulate(FixedAssignmentScheduler([0]), homogeneous_platform, all_at_zero(2))
+
+
+class TestSingleWorker:
+    def test_everything_on_one_worker(self, heterogeneous_platform, run_and_validate):
+        schedule = run_and_validate(
+            SingleWorkerScheduler(worker_id=2), heterogeneous_platform, all_at_zero(6)
+        )
+        assert schedule.worker_task_counts()[2] == 6
+
+    def test_unknown_worker_rejected(self, homogeneous_platform):
+        with pytest.raises(SchedulingError):
+            simulate(SingleWorkerScheduler(worker_id=9), homogeneous_platform, all_at_zero(1))

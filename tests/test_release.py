@@ -1,0 +1,121 @@
+"""Unit tests for the release-time generators (:mod:`repro.workloads.release`)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.platform import Platform
+from repro.exceptions import TaskError
+from repro.workloads.release import (
+    all_at_zero,
+    as_rng,
+    bursty_releases,
+    poisson_releases,
+    saturating_releases,
+    uniform_releases,
+)
+
+
+class TestAsRng:
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_seed_is_deterministic(self):
+        assert as_rng(3).integers(1000) == as_rng(3).integers(1000)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert as_rng(generator) is generator
+
+
+class TestAllAtZero:
+    def test_bag_of_tasks(self):
+        tasks = all_at_zero(100)
+        assert len(tasks) == 100
+        assert all(t.release == 0.0 for t in tasks)
+
+    def test_zero_count_rejected(self):
+        with pytest.raises(TaskError):
+            all_at_zero(0)
+
+
+class TestUniformReleases:
+    def test_within_horizon(self):
+        tasks = uniform_releases(50, horizon=10.0, rng=1)
+        assert all(0.0 <= t.release <= 10.0 for t in tasks)
+
+    def test_sorted_fifo(self):
+        tasks = uniform_releases(50, horizon=10.0, rng=1)
+        releases = tasks.releases
+        assert releases == sorted(releases)
+
+    def test_reproducible(self):
+        a = uniform_releases(20, 5.0, rng=7)
+        b = uniform_releases(20, 5.0, rng=7)
+        assert a.releases == b.releases
+
+    def test_negative_horizon_rejected(self):
+        with pytest.raises(TaskError):
+            uniform_releases(5, horizon=-1.0)
+
+
+class TestPoissonReleases:
+    def test_first_release_at_start(self):
+        tasks = poisson_releases(10, rate=2.0, rng=0, start=3.0)
+        assert tasks.first_release == pytest.approx(3.0)
+
+    def test_mean_interarrival_close_to_rate(self):
+        tasks = poisson_releases(4000, rate=4.0, rng=0)
+        gaps = np.diff(tasks.releases)
+        assert np.mean(gaps) == pytest.approx(0.25, rel=0.1)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(TaskError):
+            poisson_releases(10, rate=0.0)
+
+
+class TestBurstyReleases:
+    def test_burst_structure(self):
+        tasks = bursty_releases(9, burst_size=3, gap=10.0)
+        releases = tasks.releases
+        assert releases[:3] == [0.0, 0.0, 0.0]
+        assert releases[3:6] == [10.0, 10.0, 10.0]
+        assert releases[6:] == [20.0, 20.0, 20.0]
+
+    def test_jitter_stays_within_bound(self):
+        tasks = bursty_releases(10, burst_size=5, gap=10.0, jitter=1.0, rng=0)
+        for t in tasks:
+            base = 0.0 if t.release < 10.0 else 10.0
+            assert base <= t.release <= base + 1.0
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(TaskError):
+            bursty_releases(5, burst_size=0, gap=1.0)
+        with pytest.raises(TaskError):
+            bursty_releases(5, burst_size=2, gap=-1.0)
+
+
+class TestSaturatingReleases:
+    @pytest.fixture
+    def platform(self):
+        return Platform.from_times([0.5, 0.5], [2.0, 2.0])
+
+    def test_deterministic_spacing_matches_throughput(self, platform):
+        tasks = saturating_releases(5, platform, load_factor=1.0)
+        rate = platform.steady_state_throughput()
+        expected = [i / rate for i in range(5)]
+        assert tasks.releases == pytest.approx(expected)
+
+    def test_load_factor_scales_rate(self, platform):
+        fast = saturating_releases(10, platform, load_factor=2.0)
+        slow = saturating_releases(10, platform, load_factor=0.5)
+        assert fast.last_release < slow.last_release
+
+    def test_poisson_variant(self, platform):
+        tasks = saturating_releases(10, platform, rng=0)
+        assert len(tasks) == 10
+
+    def test_invalid_load_rejected(self, platform):
+        with pytest.raises(TaskError):
+            saturating_releases(10, platform, load_factor=0.0)

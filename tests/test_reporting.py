@@ -1,0 +1,81 @@
+"""Tests for the plain-text report rendering (:mod:`repro.experiments.reporting`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.platform import PlatformKind
+from repro.experiments.config import Figure1Config, Figure2Config
+from repro.experiments.figure1 import run_figure1, run_figure1_panel
+from repro.experiments.figure2 import run_figure2
+from repro.experiments.reporting import (
+    format_figure1,
+    format_figure2,
+    format_metric_table,
+    format_panel,
+    format_table1_result,
+)
+from repro.experiments.table1 import run_table1
+
+
+class TestMetricTable:
+    def test_contains_rows_and_columns(self):
+        values = {
+            "SRPT": {"makespan": 1.0, "sum_flow": 1.0, "max_flow": 1.0},
+            "LS": {"makespan": 0.8, "sum_flow": 0.9, "max_flow": 0.85},
+        }
+        text = format_metric_table(values)
+        assert "makespan" in text and "sum-flow" in text and "max-flow" in text
+        assert "SRPT" in text and "LS" in text
+        assert "0.800" in text
+
+    def test_row_order_respected(self):
+        values = {
+            "B": {"makespan": 2.0},
+            "A": {"makespan": 1.0},
+        }
+        text = format_metric_table(values, metrics=("makespan",), row_order=("B", "A"))
+        assert text.index("B") < text.index("A")
+
+    def test_precision(self):
+        values = {"X": {"makespan": 1.23456}}
+        text = format_metric_table(values, metrics=("makespan",), precision=1)
+        assert "1.2" in text and "1.235" not in text
+
+
+class TestFigureRendering:
+    def test_panel_rendering(self):
+        config = Figure1Config(
+            kind=PlatformKind.HOMOGENEOUS, n_platforms=1, n_tasks=30, seed=0
+        )
+        panel = run_figure1_panel(config)
+        text = format_panel(panel)
+        assert "homogeneous platforms" in text
+        assert "normalised to SRPT" in text
+        for name in config.heuristics:
+            assert name in text
+
+    def test_figure1_rendering(self):
+        config = Figure1Config(n_platforms=1, n_tasks=30, seed=0)
+        result = run_figure1(config, panels=["1a", "1d"])
+        text = format_figure1(result)
+        assert text.count("Figure 1 panel") == 2
+
+    def test_figure2_rendering(self):
+        config = Figure2Config(n_platforms=1, n_tasks=30, n_perturbations=1, seed=0)
+        text = format_figure2(run_figure2(config))
+        assert "Figure 2" in text
+        assert "10%" in text or "robustness" in text
+
+
+class TestTable1Rendering:
+    def test_contains_every_theorem(self):
+        text = format_table1_result(run_table1())
+        for theorem in range(1, 10):
+            assert f"\n  {theorem} " in text or text.startswith(f"  {theorem} ")
+        assert "communication-homogeneous" in text
+        assert "1.2500" in text
+
+    def test_heuristic_column_placeholder(self):
+        text = format_table1_result(run_table1())
+        assert "-" in text

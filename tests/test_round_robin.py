@@ -1,0 +1,116 @@
+"""Unit tests for the round-robin family (RR, RRC, RRP and strict variants)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import simulate
+from repro.core.metrics import makespan
+from repro.core.platform import Platform
+from repro.exceptions import SchedulingError
+from repro.schedulers.round_robin import (
+    RoundRobin,
+    RoundRobinComm,
+    RoundRobinComp,
+    StrictRoundRobin,
+    StrictRoundRobinComm,
+    StrictRoundRobinComp,
+)
+from repro.workloads.release import all_at_zero
+
+
+@pytest.fixture
+def ordering_platform():
+    # c: (0.9, 0.1, 0.5)  p: (1.0, 4.0, 2.0)  c+p: (1.9, 4.1, 2.5)
+    return Platform.from_times([0.9, 0.1, 0.5], [1.0, 4.0, 2.0])
+
+
+class TestOrderings:
+    def test_rr_uses_turnaround_order(self, ordering_platform):
+        schedule = simulate(StrictRoundRobin(), ordering_platform, all_at_zero(3))
+        order = [r.worker_id for r in sorted(schedule, key=lambda r: r.send_start)]
+        assert order == [0, 2, 1]
+
+    def test_rrc_uses_comm_order(self, ordering_platform):
+        schedule = simulate(StrictRoundRobinComm(), ordering_platform, all_at_zero(3))
+        order = [r.worker_id for r in sorted(schedule, key=lambda r: r.send_start)]
+        assert order == [1, 2, 0]
+
+    def test_rrp_uses_comp_order(self, ordering_platform):
+        schedule = simulate(StrictRoundRobinComp(), ordering_platform, all_at_zero(3))
+        order = [r.worker_id for r in sorted(schedule, key=lambda r: r.send_start)]
+        assert order == [0, 2, 1]
+
+
+class TestStrictRoundRobin:
+    def test_equal_task_counts(self, ordering_platform, run_and_validate):
+        schedule = run_and_validate(StrictRoundRobin(), ordering_platform, all_at_zero(12))
+        assert set(schedule.worker_task_counts().values()) == {4}
+
+    def test_cycles_repeat(self, ordering_platform):
+        schedule = simulate(StrictRoundRobin(), ordering_platform, all_at_zero(6))
+        order = [r.worker_id for r in sorted(schedule, key=lambda r: r.send_start)]
+        assert order[:3] == order[3:]
+
+    def test_sends_back_to_back(self, ordering_platform):
+        schedule = simulate(StrictRoundRobin(), ordering_platform, all_at_zero(6))
+        sends = sorted(schedule, key=lambda r: r.send_start)
+        for earlier, later in zip(sends, sends[1:]):
+            assert later.send_start == pytest.approx(earlier.send_end)
+
+
+class TestBoundedRoundRobin:
+    def test_backlog_never_exceeds_bound(self, ordering_platform):
+        bound = 2
+        scheduler = RoundRobin(max_backlog=bound)
+        # Track the backlog through the engine's own record timeline.
+        schedule = simulate(scheduler, ordering_platform, all_at_zero(20))
+        schedule.validate()
+        # Reconstruct the backlog of each worker over time from the records.
+        for worker_id in range(ordering_platform.n_workers):
+            events = []
+            for record in schedule.records_for_worker(worker_id):
+                events.append((record.send_start, +1))
+                events.append((record.compute_end, -1))
+            backlog, worst = 0, 0
+            for _, delta in sorted(events):
+                backlog += delta
+                worst = max(worst, backlog)
+            assert worst <= bound
+
+    def test_adapts_allocation_to_speed(self, comm_homogeneous_platform, run_and_validate):
+        schedule = run_and_validate(RoundRobin(), comm_homogeneous_platform, all_at_zero(60))
+        counts = schedule.worker_task_counts()
+        assert counts[0] > counts[2]  # fast processor executes more tasks
+
+    def test_waits_when_every_worker_is_saturated(self):
+        platform = Platform.from_times([0.1], [10.0])
+        schedule = simulate(RoundRobin(max_backlog=1), platform, all_at_zero(3))
+        schedule.validate()
+        # With backlog 1 the next send waits for the previous completion.
+        sends = sorted(schedule, key=lambda r: r.send_start)
+        assert sends[1].send_start >= sends[0].compute_end - 1e-9
+
+    def test_invalid_backlog_rejected(self):
+        with pytest.raises(SchedulingError):
+            RoundRobin(max_backlog=0)
+
+    def test_bounded_beats_strict_on_heterogeneous_processors(self, comm_homogeneous_platform):
+        tasks = all_at_zero(60)
+        bounded = simulate(RoundRobin(), comm_homogeneous_platform, tasks)
+        strict = simulate(StrictRoundRobin(), comm_homogeneous_platform, tasks)
+        assert makespan(bounded) < makespan(strict)
+
+    @pytest.mark.parametrize(
+        "scheduler_cls", [RoundRobin, RoundRobinComm, RoundRobinComp]
+    )
+    def test_all_variants_feasible(self, scheduler_cls, heterogeneous_platform, run_and_validate):
+        run_and_validate(scheduler_cls(), heterogeneous_platform, all_at_zero(30))
+
+    def test_variants_differ_only_by_ordering(self, ordering_platform):
+        rr = simulate(RoundRobin(), ordering_platform, all_at_zero(3))
+        rrc = simulate(RoundRobinComm(), ordering_platform, all_at_zero(3))
+        first_rr = min(rr, key=lambda r: r.send_start).worker_id
+        first_rrc = min(rrc, key=lambda r: r.send_start).worker_id
+        assert first_rr == 0
+        assert first_rrc == 1

@@ -1,0 +1,169 @@
+"""Unit tests for schedules and the independent feasibility validator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.platform import Platform
+from repro.core.schedule import Schedule, TaskRecord
+from repro.core.task import TaskSet
+from repro.exceptions import InfeasibleScheduleError, SchedulingError
+from repro.workloads.release import all_at_zero
+
+
+@pytest.fixture
+def platform():
+    return Platform.from_times([1.0, 2.0], [3.0, 4.0])
+
+
+@pytest.fixture
+def tasks():
+    return TaskSet.from_releases([0.0, 0.0])
+
+
+def _record(task_id, worker_id, release, send_start, c, p, compute_start=None):
+    send_end = send_start + c
+    start = send_end if compute_start is None else compute_start
+    return TaskRecord(
+        task_id=task_id,
+        worker_id=worker_id,
+        release=release,
+        send_start=send_start,
+        send_end=send_end,
+        compute_start=start,
+        compute_end=start + p,
+    )
+
+
+def _valid_records(platform):
+    return [
+        _record(0, 0, 0.0, 0.0, 1.0, 3.0),
+        _record(1, 1, 0.0, 1.0, 2.0, 4.0),
+    ]
+
+
+class TestScheduleContainer:
+    def test_basic_accessors(self, platform, tasks):
+        schedule = Schedule(platform, tasks, _valid_records(platform))
+        assert len(schedule) == 2
+        assert schedule.is_complete
+        assert schedule[0].worker_id == 0
+        assert 1 in schedule
+        assert schedule.worker_task_counts() == {0: 1, 1: 1}
+        assert schedule.completion_times()[1] == pytest.approx(7.0)
+
+    def test_duplicate_task_rejected(self, platform, tasks):
+        records = _valid_records(platform)
+        with pytest.raises(SchedulingError):
+            Schedule(platform, tasks, records + [records[0]])
+
+    def test_missing_task_lookup_raises(self, platform, tasks):
+        schedule = Schedule(platform, tasks, _valid_records(platform))
+        with pytest.raises(SchedulingError):
+            _ = schedule[42]
+
+    def test_records_for_worker_sorted(self, platform):
+        tasks = TaskSet.from_releases([0.0, 0.0, 0.0])
+        records = [
+            _record(0, 0, 0.0, 0.0, 1.0, 3.0),
+            _record(1, 0, 0.0, 1.0, 1.0, 3.0, compute_start=4.0),
+            _record(2, 1, 0.0, 2.0, 2.0, 4.0),
+        ]
+        schedule = Schedule(platform, tasks, records)
+        assert [r.task_id for r in schedule.records_for_worker(0)] == [0, 1]
+
+    def test_record_derived_quantities(self):
+        record = _record(0, 0, 1.0, 2.0, 1.0, 3.0, compute_start=4.0)
+        assert record.completion == pytest.approx(7.0)
+        assert record.flow == pytest.approx(6.0)
+        assert record.comm_duration == pytest.approx(1.0)
+        assert record.comp_duration == pytest.approx(3.0)
+        assert record.queue_wait == pytest.approx(1.0)
+
+
+class TestValidation:
+    def test_valid_schedule_passes(self, platform, tasks):
+        Schedule(platform, tasks, _valid_records(platform)).validate()
+
+    def test_incomplete_schedule_rejected(self, platform, tasks):
+        schedule = Schedule(platform, tasks, _valid_records(platform)[:1])
+        assert not schedule.is_complete
+        with pytest.raises(InfeasibleScheduleError):
+            schedule.validate()
+
+    def test_send_before_release_rejected(self, platform):
+        tasks = TaskSet.from_releases([5.0, 0.0])
+        # Task with release 5.0 has id 1 after FIFO renumbering, so build the
+        # offending record against id 1.
+        records = [
+            _record(0, 0, 0.0, 0.0, 1.0, 3.0),
+            _record(1, 1, 5.0, 2.0, 2.0, 4.0),
+        ]
+        schedule = Schedule(platform, tasks, records)
+        with pytest.raises(InfeasibleScheduleError, match="before its"):
+            schedule.validate()
+
+    def test_wrong_comm_duration_rejected(self, platform, tasks):
+        records = _valid_records(platform)
+        bad = TaskRecord(
+            task_id=1, worker_id=1, release=0.0,
+            send_start=1.0, send_end=1.5,  # should last 2.0 on worker 1
+            compute_start=1.5, compute_end=5.5,
+        )
+        schedule = Schedule(platform, tasks, [records[0], bad])
+        with pytest.raises(InfeasibleScheduleError, match="communication"):
+            schedule.validate()
+
+    def test_wrong_comp_duration_rejected(self, platform, tasks):
+        records = _valid_records(platform)
+        bad = TaskRecord(
+            task_id=1, worker_id=1, release=0.0,
+            send_start=1.0, send_end=3.0,
+            compute_start=3.0, compute_end=5.0,  # should last 4.0
+        )
+        schedule = Schedule(platform, tasks, [records[0], bad])
+        with pytest.raises(InfeasibleScheduleError, match="computation"):
+            schedule.validate()
+
+    def test_compute_before_arrival_rejected(self, platform, tasks):
+        bad = TaskRecord(
+            task_id=1, worker_id=1, release=0.0,
+            send_start=1.0, send_end=3.0,
+            compute_start=2.0, compute_end=6.0,
+        )
+        schedule = Schedule(platform, tasks, [_valid_records(platform)[0], bad])
+        with pytest.raises(InfeasibleScheduleError, match="arrives"):
+            schedule.validate()
+
+    def test_one_port_violation_rejected(self, platform, tasks):
+        records = [
+            _record(0, 0, 0.0, 0.0, 1.0, 3.0),
+            _record(1, 1, 0.0, 0.5, 2.0, 4.0),  # overlaps the first send
+        ]
+        schedule = Schedule(platform, tasks, records)
+        with pytest.raises(InfeasibleScheduleError, match="one-port"):
+            schedule.validate()
+
+    def test_worker_overlap_rejected(self, platform, tasks):
+        records = [
+            _record(0, 0, 0.0, 0.0, 1.0, 3.0),
+            _record(1, 0, 0.0, 1.0, 1.0, 3.0, compute_start=2.0),  # overlaps on P1
+        ]
+        schedule = Schedule(platform, tasks, records)
+        with pytest.raises(InfeasibleScheduleError, match="simultaneously"):
+            schedule.validate()
+
+    def test_is_feasible_boolean_wrapper(self, platform, tasks):
+        good = Schedule(platform, tasks, _valid_records(platform))
+        assert good.is_feasible()
+        bad = Schedule(platform, tasks, _valid_records(platform)[:1])
+        assert not bad.is_feasible()
+
+    def test_perturbed_task_durations_checked_against_factors(self, platform):
+        tasks = all_at_zero(1).with_factors(comm_factors=[2.0], comp_factors=[1.5])
+        record = TaskRecord(
+            task_id=0, worker_id=0, release=0.0,
+            send_start=0.0, send_end=2.0,       # 1.0 * factor 2.0
+            compute_start=2.0, compute_end=6.5,  # 3.0 * factor 1.5
+        )
+        Schedule(platform, tasks, [record]).validate()

@@ -1,0 +1,116 @@
+"""Unit tests for SLJF / SLJFWC and their backward planning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import simulate
+from repro.core.metrics import Objective, makespan
+from repro.core.platform import Platform
+from repro.exceptions import SchedulingError
+from repro.schedulers.list_scheduling import ListScheduler
+from repro.schedulers.offline import optimal_value
+from repro.schedulers.sljf import SLJFScheduler, SLJFWCScheduler, backward_plan
+from repro.workloads.release import all_at_zero
+
+
+class TestBackwardPlan:
+    def test_plan_length(self, comm_homogeneous_platform):
+        plan = backward_plan(comm_homogeneous_platform, 10, with_communication=False)
+        assert len(plan) == 10
+        assert all(0 <= w < comm_homogeneous_platform.n_workers for w in plan)
+
+    def test_zero_tasks(self, comm_homogeneous_platform):
+        assert backward_plan(comm_homogeneous_platform, 0, with_communication=False) == []
+
+    def test_negative_tasks_rejected(self, comm_homogeneous_platform):
+        with pytest.raises(SchedulingError):
+            backward_plan(comm_homogeneous_platform, -1, with_communication=False)
+
+    def test_sljf_counts_balance_compute_load(self, comm_homogeneous_platform):
+        # p = (1, 2, 4): with 14 tasks the load-balanced counts are (8, 4, 2).
+        plan = backward_plan(comm_homogeneous_platform, 14, with_communication=False)
+        counts = [plan.count(j) for j in range(3)]
+        assert counts == [8, 4, 2]
+
+    def test_sljf_last_task_on_fastest_processor(self, comm_homogeneous_platform):
+        plan = backward_plan(comm_homogeneous_platform, 7, with_communication=False)
+        assert plan[-1] == 0  # the fastest processor hosts the last job
+
+    def test_sljfwc_prefers_cheap_links_on_identical_processors(self, comp_homogeneous_platform):
+        # c = (0.2, 0.6, 1.5), p = 3 everywhere: the cheap link gets at least
+        # as many tasks as the expensive one.
+        plan = backward_plan(comp_homogeneous_platform, 12, with_communication=True)
+        counts = [plan.count(j) for j in range(3)]
+        assert counts[0] >= counts[2]
+
+    def test_plans_differ_when_links_matter(self, heterogeneous_platform):
+        without = backward_plan(heterogeneous_platform, 20, with_communication=False)
+        with_comm = backward_plan(heterogeneous_platform, 20, with_communication=True)
+        assert without != with_comm
+
+
+class TestSLJFScheduling:
+    def test_uses_exposed_task_count(self, comm_homogeneous_platform, run_and_validate):
+        schedule = run_and_validate(
+            SLJFScheduler(), comm_homogeneous_platform, all_at_zero(14), expose_task_count=True
+        )
+        counts = schedule.worker_task_counts()
+        assert counts == {0: 8, 1: 4, 2: 2}
+
+    def test_requires_task_count_flag(self):
+        assert SLJFScheduler.requires_task_count
+        assert SLJFWCScheduler.requires_task_count
+
+    def test_falls_back_to_list_scheduling_beyond_plan(self, comm_homogeneous_platform, run_and_validate):
+        scheduler = SLJFScheduler(lookahead=2)
+        schedule = run_and_validate(
+            scheduler, comm_homogeneous_platform, all_at_zero(10), expose_task_count=False
+        )
+        assert len(schedule) == 10  # all tasks scheduled despite the tiny plan
+
+    def test_negative_lookahead_rejected(self):
+        with pytest.raises(SchedulingError):
+            SLJFScheduler(lookahead=-1)
+
+    def test_close_to_optimal_makespan_on_comm_homogeneous(self, comm_homogeneous_platform):
+        tasks = all_at_zero(6)
+        schedule = simulate(
+            SLJFScheduler(), comm_homogeneous_platform, tasks, expose_task_count=True
+        )
+        best = optimal_value(comm_homogeneous_platform, tasks, Objective.MAKESPAN)
+        assert makespan(schedule) <= best * 1.25
+
+    def test_competitive_with_list_scheduling_on_comm_homogeneous(self, comm_homogeneous_platform):
+        tasks = all_at_zero(60)
+        sljf = simulate(SLJFScheduler(), comm_homogeneous_platform, tasks, expose_task_count=True)
+        ls = simulate(ListScheduler(), comm_homogeneous_platform, tasks)
+        assert makespan(sljf) <= makespan(ls) * 1.05
+
+    def test_sljfwc_beats_sljf_on_computation_homogeneous(self):
+        # Pronounced link heterogeneity with identical processors: taking the
+        # communications into account must not hurt, and typically helps.
+        platform = Platform.from_times([0.1, 0.1, 2.0], [1.0, 1.0, 1.0])
+        tasks = all_at_zero(40)
+        sljf = simulate(SLJFScheduler(), platform, tasks, expose_task_count=True)
+        sljfwc = simulate(SLJFWCScheduler(), platform, tasks, expose_task_count=True)
+        assert makespan(sljfwc) <= makespan(sljf) + 1e-9
+
+    def test_deterministic(self, heterogeneous_platform):
+        tasks = all_at_zero(25)
+        a = simulate(SLJFWCScheduler(), heterogeneous_platform, tasks, expose_task_count=True)
+        b = simulate(SLJFWCScheduler(), heterogeneous_platform, tasks, expose_task_count=True)
+        assert [r.worker_id for r in a] == [r.worker_id for r in b]
+
+    def test_feasible_with_staggered_releases(self, heterogeneous_platform, staggered_tasks, run_and_validate):
+        run_and_validate(
+            SLJFWCScheduler(), heterogeneous_platform, staggered_tasks, expose_task_count=True
+        )
+
+    def test_reset_clears_previous_plan(self, comm_homogeneous_platform, homogeneous_platform):
+        scheduler = SLJFScheduler()
+        simulate(scheduler, comm_homogeneous_platform, all_at_zero(5), expose_task_count=True)
+        # Re-using the same instance on another platform must re-plan cleanly.
+        schedule = simulate(scheduler, homogeneous_platform, all_at_zero(5), expose_task_count=True)
+        schedule.validate()
+        assert len(schedule) == 5

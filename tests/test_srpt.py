@@ -1,0 +1,63 @@
+"""Unit tests for the SRPT heuristic (Section 4.1 behaviour)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import simulate
+from repro.core.metrics import makespan
+from repro.core.platform import Platform
+from repro.schedulers.srpt import SRPTScheduler
+from repro.workloads.release import all_at_zero
+
+
+class TestSRPT:
+    def test_sends_first_task_to_fastest_slave(self, comm_homogeneous_platform, run_and_validate):
+        schedule = run_and_validate(SRPTScheduler(), comm_homogeneous_platform, all_at_zero(1))
+        assert schedule[0].worker_id == 0  # p = 1.0 is the fastest
+
+    def test_waits_for_a_free_slave(self):
+        # One slave: SRPT sends a task only once the previous one finished,
+        # so there is no communication/computation overlap at all.
+        platform = Platform.from_times([1.0], [3.0])
+        schedule = simulate(SRPTScheduler(), platform, all_at_zero(3))
+        schedule.validate()
+        # Each task costs c + p with no pipelining: 3 * (1 + 3) = 12.
+        assert makespan(schedule) == pytest.approx(12.0)
+
+    def test_no_pipelining_makes_it_slower_than_list_scheduling(self, homogeneous_platform):
+        from repro.schedulers.list_scheduling import ListScheduler
+
+        tasks = all_at_zero(40)
+        srpt = simulate(SRPTScheduler(), homogeneous_platform, tasks)
+        ls = simulate(ListScheduler(), homogeneous_platform, tasks)
+        assert makespan(ls) < makespan(srpt)
+
+    def test_fills_all_free_slaves_before_waiting(self, homogeneous_platform, run_and_validate):
+        schedule = run_and_validate(SRPTScheduler(), homogeneous_platform, all_at_zero(4))
+        # With 4 identical free slaves and 4 tasks, each slave gets exactly one.
+        assert sorted(schedule.worker_task_counts().values()) == [1, 1, 1, 1]
+
+    def test_prefers_fast_processors_under_load(self, comm_homogeneous_platform, run_and_validate):
+        schedule = run_and_validate(SRPTScheduler(), comm_homogeneous_platform, all_at_zero(30))
+        counts = schedule.worker_task_counts()
+        # p = (1, 2, 4): faster slaves execute at least as many tasks, and the
+        # slowest one strictly fewer (the two fastest are both limited by the
+        # master's port, so they may tie).
+        assert counts[0] >= counts[1] > counts[2]
+
+    def test_ties_broken_by_cheaper_link_then_index(self):
+        platform = Platform.from_times([0.9, 0.1, 0.1], [2.0, 2.0, 2.0])
+        schedule = simulate(SRPTScheduler(), platform, all_at_zero(1))
+        assert schedule[0].worker_id == 1
+
+    def test_handles_staggered_releases(self, heterogeneous_platform, staggered_tasks, run_and_validate):
+        schedule = run_and_validate(SRPTScheduler(), heterogeneous_platform, staggered_tasks)
+        for record in schedule:
+            assert record.send_start >= record.release - 1e-12
+
+    def test_deterministic(self, heterogeneous_platform):
+        tasks = all_at_zero(25)
+        first = simulate(SRPTScheduler(), heterogeneous_platform, tasks)
+        second = simulate(SRPTScheduler(), heterogeneous_platform, tasks)
+        assert [r.worker_id for r in first] == [r.worker_id for r in second]

@@ -1,0 +1,96 @@
+"""Unit tests for the statistics helpers (:mod:`repro.analysis.stats`)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import (
+    aggregate_metrics,
+    bootstrap_ci,
+    geometric_mean,
+    summarise,
+)
+from repro.exceptions import ExperimentError
+
+
+class TestSummarise:
+    def test_basic_statistics(self):
+        summary = summarise([1.0, 2.0, 3.0, 4.0])
+        assert summary.n == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.median == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.std == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+
+    def test_single_value(self):
+        summary = summarise([5.0])
+        assert summary.std == 0.0
+        assert summary.mean == 5.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            summarise([])
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(ExperimentError):
+            summarise([1.0, math.inf])
+
+    def test_geo_mean_nan_for_non_positive(self):
+        summary = summarise([-1.0, 1.0])
+        assert math.isnan(summary.geo_mean)
+
+    def test_as_dict(self):
+        flat = summarise([1.0, 2.0]).as_dict()
+        assert set(flat) == {"n", "mean", "std", "min", "median", "max", "geo_mean"}
+
+
+class TestGeometricMean:
+    def test_value(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ExperimentError):
+            geometric_mean([1.0, 0.0])
+
+    def test_agrees_with_log_mean(self):
+        values = [0.5, 1.5, 2.5, 3.5]
+        assert geometric_mean(values) == pytest.approx(
+            float(np.exp(np.mean(np.log(values))))
+        )
+
+
+class TestBootstrap:
+    def test_interval_contains_mean(self):
+        values = list(np.random.default_rng(0).normal(10.0, 1.0, size=40))
+        interval = bootstrap_ci(values, rng=np.random.default_rng(1))
+        assert interval["low"] <= interval["mean"] <= interval["high"]
+
+    def test_narrower_with_higher_confidence_removed(self):
+        values = list(np.random.default_rng(0).normal(0.0, 1.0, size=50))
+        wide = bootstrap_ci(values, confidence=0.99, rng=np.random.default_rng(2))
+        narrow = bootstrap_ci(values, confidence=0.80, rng=np.random.default_rng(2))
+        assert (narrow["high"] - narrow["low"]) <= (wide["high"] - wide["low"])
+
+    def test_invalid_confidence_rejected(self):
+        with pytest.raises(ExperimentError):
+            bootstrap_ci([1.0, 2.0], confidence=1.5)
+
+
+class TestAggregateMetrics:
+    def test_aggregates_key_by_key(self):
+        runs = [{"makespan": 10.0, "sum_flow": 100.0}, {"makespan": 12.0, "sum_flow": 110.0}]
+        aggregated = aggregate_metrics(runs)
+        assert aggregated["makespan"].mean == pytest.approx(11.0)
+        assert aggregated["sum_flow"].maximum == pytest.approx(110.0)
+
+    def test_mismatched_keys_rejected(self):
+        with pytest.raises(ExperimentError):
+            aggregate_metrics([{"a": 1.0}, {"b": 2.0}])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            aggregate_metrics([])

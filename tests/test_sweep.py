@@ -1,0 +1,66 @@
+"""Tests for the heterogeneity-sweep extension experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.sweep import run_heterogeneity_sweep
+
+
+SMALL = dict(n_workers=3, n_tasks=60, n_platforms=2, factors=(1.0, 4.0, 16.0), rng=6)
+
+
+class TestHeterogeneitySweep:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return run_heterogeneity_sweep(dimension="both", **SMALL)
+
+    def test_structure(self, sweep):
+        assert sweep.dimension == "both"
+        assert sweep.factors == (1.0, 4.0, 16.0)
+        assert len(sweep.points) == 3
+        for point in sweep.points:
+            assert set(point.spread) == {"makespan", "sum_flow", "max_flow"}
+
+    def test_reference_is_one_at_every_point(self, sweep):
+        for point in sweep.points:
+            for metric, value in point.normalised["SRPT"].items():
+                assert value == pytest.approx(1.0), metric
+
+    def test_homogeneous_point_has_negligible_spread(self, sweep):
+        first = sweep.points[0]
+        assert first.factor == 1.0
+        # On a fully homogeneous platform every static heuristic ties (the
+        # Figure 1(a) result), so the spread is only SRPT's overlap penalty.
+        static = {name: v for name, v in first.normalised.items() if name != "SRPT"}
+        values = [metrics["makespan"] for metrics in static.values()]
+        assert max(values) - min(values) < 0.03
+
+    def test_heterogeneity_widens_the_spread(self, sweep):
+        curve = sweep.spread_curve("makespan")
+        assert curve[-1][1] >= curve[0][1] - 0.02
+
+    def test_spread_curve_pairs(self, sweep):
+        curve = sweep.spread_curve("sum_flow")
+        assert [factor for factor, _ in curve] == [1.0, 4.0, 16.0]
+        assert all(spread >= 0.0 for _, spread in curve)
+
+    @pytest.mark.parametrize("dimension", ["communication", "computation"])
+    def test_single_dimension_sweeps(self, dimension):
+        sweep = run_heterogeneity_sweep(dimension=dimension, **SMALL)
+        assert sweep.dimension == dimension
+        assert len(sweep.points) == 3
+
+    def test_unknown_dimension_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_heterogeneity_sweep(dimension="sideways", **SMALL)
+
+    def test_reference_must_be_included(self):
+        with pytest.raises(ExperimentError):
+            run_heterogeneity_sweep(heuristics=("LS",), reference="SRPT", **SMALL)
+
+    def test_reproducible(self):
+        a = run_heterogeneity_sweep(dimension="both", **SMALL)
+        b = run_heterogeneity_sweep(dimension="both", **SMALL)
+        assert a.spread_curve("makespan") == b.spread_curve("makespan")

@@ -1,0 +1,55 @@
+"""Tests for the Table 1 experiment harness (:mod:`repro.experiments.table1`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metrics import Objective
+from repro.core.platform import PlatformKind
+from repro.experiments.table1 import run_table1
+from repro.theory.verification import EXACT_THEOREMS
+
+
+class TestRunTable1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_table1()
+
+    def test_nine_rows(self, result):
+        assert len(result.rows) == 9
+        assert sorted(row.theorem for row in result.rows) == list(range(1, 10))
+
+    def test_rows_map_to_table_cells(self, result):
+        cells = result.by_cell()
+        assert len(cells) == 9
+        assert (PlatformKind.COMMUNICATION_HOMOGENEOUS, Objective.MAKESPAN) in cells
+        assert (PlatformKind.HETEROGENEOUS, Objective.MAX_FLOW) in cells
+
+    def test_published_values(self, result):
+        cells = result.by_cell()
+        assert cells[(PlatformKind.COMMUNICATION_HOMOGENEOUS, Objective.MAKESPAN)].stated_bound == pytest.approx(1.25)
+        assert cells[(PlatformKind.COMPUTATION_HOMOGENEOUS, Objective.SUM_FLOW)].stated_bound == pytest.approx(23 / 22)
+        assert cells[(PlatformKind.HETEROGENEOUS, Objective.MAKESPAN)].stated_bound == pytest.approx(1.366, abs=1e-3)
+
+    def test_gaps_small_and_nonnegative(self, result):
+        for row in result.rows:
+            assert row.gap >= -1e-9
+            assert row.relative_gap < 0.005
+            if row.theorem in EXACT_THEOREMS:
+                assert row.gap == pytest.approx(0.0, abs=1e-9)
+
+    def test_row_lookup(self, result):
+        assert result.row(4).platform_kind is PlatformKind.COMPUTATION_HOMOGENEOUS
+        with pytest.raises(KeyError):
+            result.row(17)
+
+    def test_heuristic_column_absent_by_default(self, result):
+        assert all(row.best_heuristic_ratio is None for row in result.rows)
+
+    def test_heuristic_column_present_when_requested(self):
+        result = run_table1(include_heuristics=True, heuristics=("LS",))
+        for row in result.rows:
+            assert row.best_heuristic_ratio is not None
+            assert row.best_heuristic == "LS"
+            # No deterministic heuristic beats the certified game value.
+            assert row.best_heuristic_ratio >= row.game_value - 1e-9

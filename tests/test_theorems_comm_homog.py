@@ -1,0 +1,137 @@
+"""Tests for Theorems 1–3 (communication-homogeneous platforms, Section 3.2).
+
+The tests pin the intermediate quantities of each proof (per-leaf best values
+and off-line optima) as well as the final game values against the numbers
+printed in the paper, so a regression in the engine, in the brute-force
+optimum or in the leaf encoding is caught at the exact step that diverges.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.metrics import Objective
+from repro.core.platform import PlatformKind
+from repro.theory import (
+    theorem1_certificate,
+    theorem1_leaves,
+    theorem1_platform,
+    theorem2_certificate,
+    theorem2_leaves,
+    theorem2_platform,
+    theorem3_certificate,
+    theorem3_leaves,
+    theorem3_platform,
+)
+from repro.theory.adversary import leaf_best_value, leaf_optimal_value
+
+
+class TestTheorem1:
+    def test_platform_matches_proof(self):
+        platform = theorem1_platform()
+        assert platform.comm_times == [1.0, 1.0]
+        assert platform.comp_times == [3.0, 7.0]
+        assert platform.kind is PlatformKind.COMMUNICATION_HOMOGENEOUS
+
+    def test_leaf_values_match_proof(self):
+        platform = theorem1_platform()
+        leaves = {leaf.description: leaf for leaf in theorem1_leaves()}
+        objective = Objective.MAKESPAN
+
+        not_sent = leaves["task i not sent by t1=c (adversary stops)"]
+        assert leaf_best_value(platform, not_sent, objective) == pytest.approx(5.0)
+        assert leaf_optimal_value(platform, not_sent, objective) == pytest.approx(4.0)
+
+        on_p2 = leaves["task i sent to P2 (adversary stops)"]
+        assert leaf_best_value(platform, on_p2, objective) == pytest.approx(8.0)
+
+        j_on_p2 = leaves["i on P1; j sent to P2 by t2 (adversary stops)"]
+        assert leaf_best_value(platform, j_on_p2, objective) == pytest.approx(9.0)
+        assert leaf_optimal_value(platform, j_on_p2, objective) == pytest.approx(7.0)
+
+        j_on_p1 = leaves["i on P1; j on P1 by t2; adversary releases k at t2"]
+        assert leaf_best_value(platform, j_on_p1, objective) == pytest.approx(10.0)
+        assert leaf_optimal_value(platform, j_on_p1, objective) == pytest.approx(8.0)
+
+        j_unsent = leaves["i on P1; j not sent by t2; adversary releases k at t2"]
+        assert leaf_best_value(platform, j_unsent, objective) == pytest.approx(10.0)
+
+    def test_certificate_value_is_five_fourths(self):
+        result = theorem1_certificate()
+        assert result.value == pytest.approx(1.25, abs=1e-12)
+        assert result.stated_bound == pytest.approx(1.25)
+        assert result.gap == pytest.approx(0.0, abs=1e-12)
+
+    def test_every_leaf_ratio_at_least_the_bound(self):
+        result = theorem1_certificate()
+        for description, ratio in result.leaf_ratios.items():
+            assert ratio >= 1.25 - 1e-12, description
+
+
+class TestTheorem2:
+    def test_platform_matches_proof(self):
+        platform = theorem2_platform()
+        assert platform.comp_times[0] == pytest.approx(2.0)
+        assert platform.comp_times[1] == pytest.approx(4 * math.sqrt(2) - 2)
+
+    def test_leaf_values_match_proof(self):
+        platform = theorem2_platform()
+        leaves = {leaf.description: leaf for leaf in theorem2_leaves()}
+        objective = Objective.SUM_FLOW
+
+        j_on_p2 = leaves["i on P1; j sent to P2 by t2 (adversary stops)"]
+        assert leaf_best_value(platform, j_on_p2, objective) == pytest.approx(2 + 4 * math.sqrt(2))
+        assert leaf_optimal_value(platform, j_on_p2, objective) == pytest.approx(7.0)
+
+        j_on_p1 = leaves["i on P1; j on P1 by t2; adversary releases k at t2"]
+        assert leaf_best_value(platform, j_on_p1, objective) == pytest.approx(6 + 4 * math.sqrt(2))
+        assert leaf_optimal_value(platform, j_on_p1, objective) == pytest.approx(5 + 4 * math.sqrt(2))
+
+    def test_certificate_value(self):
+        result = theorem2_certificate()
+        expected = (2 + 4 * math.sqrt(2)) / 7
+        assert result.value == pytest.approx(expected, abs=1e-12)
+        assert result.gap == pytest.approx(0.0, abs=1e-12)
+
+    def test_every_leaf_ratio_at_least_the_bound(self):
+        result = theorem2_certificate()
+        for description, ratio in result.leaf_ratios.items():
+            assert ratio >= result.stated_bound - 1e-12, description
+
+
+class TestTheorem3:
+    def test_platform_matches_proof(self):
+        platform = theorem3_platform()
+        sqrt7 = math.sqrt(7)
+        assert platform.comp_times[0] == pytest.approx((2 + sqrt7) / 3)
+        assert platform.comp_times[1] == pytest.approx((1 + 2 * sqrt7) / 3)
+
+    def test_leaf_values_match_proof(self):
+        platform = theorem3_platform()
+        leaves = {leaf.description: leaf for leaf in theorem3_leaves()}
+        objective = Objective.MAX_FLOW
+        sqrt7 = math.sqrt(7)
+
+        not_sent = leaves["task i not sent by tau (adversary stops)"]
+        assert leaf_best_value(platform, not_sent, objective) == pytest.approx(3.0)
+        assert leaf_optimal_value(platform, not_sent, objective) == pytest.approx((5 + sqrt7) / 3)
+
+        j_on_p2 = leaves["i on P1; j released at tau and sent to P2"]
+        assert leaf_best_value(platform, j_on_p2, objective) == pytest.approx(1 + sqrt7)
+        assert leaf_optimal_value(platform, j_on_p2, objective) == pytest.approx((4 + 2 * sqrt7) / 3)
+
+        j_on_p1 = leaves["i on P1; j released at tau and sent to P1"]
+        assert leaf_best_value(platform, j_on_p1, objective) == pytest.approx(1 + sqrt7)
+
+    def test_certificate_value(self):
+        result = theorem3_certificate()
+        expected = (5 - math.sqrt(7)) / 2
+        assert result.value == pytest.approx(expected, abs=1e-12)
+        assert result.gap == pytest.approx(0.0, abs=1e-12)
+
+    def test_every_leaf_ratio_at_least_the_bound(self):
+        result = theorem3_certificate()
+        for description, ratio in result.leaf_ratios.items():
+            assert ratio >= result.stated_bound - 1e-12, description

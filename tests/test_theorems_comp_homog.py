@@ -1,0 +1,114 @@
+"""Tests for Theorems 4–6 (computation-homogeneous platforms, Section 3.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metrics import Objective
+from repro.core.platform import PlatformKind
+from repro.exceptions import ReproError
+from repro.theory import (
+    theorem4_certificate,
+    theorem4_leaves,
+    theorem4_platform,
+    theorem5_certificate,
+    theorem5_platform,
+    theorem6_certificate,
+    theorem6_leaves,
+    theorem6_platform,
+)
+from repro.theory.adversary import leaf_best_value, leaf_optimal_value
+
+
+class TestTheorem4:
+    def test_platform_matches_proof(self):
+        platform = theorem4_platform(p=10.0)
+        assert platform.comm_times == [1.0, 5.0]
+        assert platform.comp_times == [10.0, 10.0]
+        assert platform.kind is PlatformKind.COMPUTATION_HOMOGENEOUS
+
+    def test_small_p_rejected(self):
+        with pytest.raises(ReproError):
+            theorem4_platform(p=2.0)
+
+    def test_flood_leaf_values_match_proof(self):
+        # The proof's enumeration: best reachable makespan 3p, optimum 1+5p/2.
+        p = 10.0
+        platform = theorem4_platform(p)
+        flood = [leaf for leaf in theorem4_leaves(p) if "releases j, k, l" in leaf.description][0]
+        assert leaf_best_value(platform, flood, Objective.MAKESPAN) == pytest.approx(3 * p)
+        assert leaf_optimal_value(platform, flood, Objective.MAKESPAN) == pytest.approx(1 + 5 * p / 2)
+
+    def test_certificate_approaches_six_fifths(self):
+        small = theorem4_certificate(p=20.0)
+        large = theorem4_certificate(p=2000.0)
+        assert small.value < 1.2
+        assert large.value < 1.2
+        assert large.value > small.value          # monotone convergence
+        assert large.value == pytest.approx(1.2, abs=1e-3)
+        assert large.stated_bound == pytest.approx(1.2)
+
+    def test_finite_game_value_matches_proof_formula(self):
+        # For finite p the binding leaf gives exactly 3p / (1 + 5p/2).
+        p = 50.0
+        result = theorem4_certificate(p=p)
+        assert result.value == pytest.approx(3 * p / (1 + 2.5 * p), abs=1e-9)
+
+
+class TestTheorem5:
+    def test_platform_matches_proof(self):
+        platform = theorem5_platform(epsilon=0.01)
+        assert platform.comm_times == [0.01, 1.0]
+        assert platform.comp_times[0] == pytest.approx(1.99)
+        assert platform.kind is PlatformKind.COMPUTATION_HOMOGENEOUS
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(ReproError):
+            theorem5_platform(epsilon=0.0)
+        with pytest.raises(ReproError):
+            theorem5_platform(epsilon=1.5)
+
+    def test_certificate_approaches_five_fourths(self):
+        coarse = theorem5_certificate(epsilon=0.1)
+        fine = theorem5_certificate(epsilon=1e-4)
+        assert coarse.value < 1.25
+        assert fine.value > coarse.value
+        assert fine.value == pytest.approx(1.25, abs=1e-3)
+
+    def test_finite_game_value_matches_proof_formula(self):
+        # The binding leaf forces (5 - 2eps) / 4.
+        epsilon = 0.05
+        result = theorem5_certificate(epsilon=epsilon)
+        assert result.value == pytest.approx((5 - 2 * epsilon) / 4, abs=1e-9)
+
+
+class TestTheorem6:
+    def test_platform_matches_proof(self):
+        platform = theorem6_platform()
+        assert platform.comm_times == [1.0, 2.0]
+        assert platform.comp_times == [3.0, 3.0]
+
+    def test_leaf_values_match_proof(self):
+        platform = theorem6_platform()
+        objective = Objective.SUM_FLOW
+        leaves = {leaf.description: leaf for leaf in theorem6_leaves()}
+
+        on_p2 = leaves["task i sent to P2 (adversary stops)"]
+        assert leaf_best_value(platform, on_p2, objective) == pytest.approx(5.0)
+        assert leaf_optimal_value(platform, on_p2, objective) == pytest.approx(4.0)
+
+        flood = leaves["i on P1; adversary releases j, k, l at tau"]
+        # The proof enumerates every split and finds 23 as the best reachable
+        # sum-flow, against an off-line optimum of 22.
+        assert leaf_best_value(platform, flood, objective) == pytest.approx(23.0)
+        assert leaf_optimal_value(platform, flood, objective) == pytest.approx(22.0)
+
+    def test_certificate_value_exact(self):
+        result = theorem6_certificate()
+        assert result.value == pytest.approx(23.0 / 22.0, abs=1e-12)
+        assert result.gap == pytest.approx(0.0, abs=1e-12)
+
+    def test_every_leaf_ratio_at_least_the_bound(self):
+        result = theorem6_certificate()
+        for description, ratio in result.leaf_ratios.items():
+            assert ratio >= result.stated_bound - 1e-12, description

@@ -1,0 +1,119 @@
+"""Tests for Theorems 7–9 (fully heterogeneous platforms, Section 3.4)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.metrics import Objective
+from repro.core.platform import PlatformKind
+from repro.exceptions import ReproError
+from repro.theory import (
+    theorem7_certificate,
+    theorem7_leaves,
+    theorem7_platform,
+    theorem8_certificate,
+    theorem8_checkpoint,
+    theorem8_platform,
+    theorem9_certificate,
+    theorem9_checkpoint,
+    theorem9_leaves,
+    theorem9_platform,
+)
+from repro.theory.adversary import leaf_best_value, leaf_optimal_value
+
+
+class TestTheorem7:
+    def test_platform_matches_proof(self):
+        platform = theorem7_platform(epsilon=0.01)
+        s = 1 + math.sqrt(3)
+        assert platform.comm_times == pytest.approx([s, 1.0, 1.0])
+        assert platform.comp_times == pytest.approx([0.01, s, s])
+        assert platform.kind is PlatformKind.HETEROGENEOUS
+
+    def test_flood_leaf_values_match_proof(self):
+        epsilon = 1e-3
+        platform = theorem7_platform(epsilon)
+        flood = [leaf for leaf in theorem7_leaves(epsilon) if "releases j, k" in leaf.description][0]
+        # Best reachable makespan 3 + 2*sqrt(3) + eps; optimum 3 + sqrt(3) + eps.
+        assert leaf_best_value(platform, flood, Objective.MAKESPAN) == pytest.approx(
+            3 + 2 * math.sqrt(3) + epsilon
+        )
+        assert leaf_optimal_value(platform, flood, Objective.MAKESPAN) == pytest.approx(
+            3 + math.sqrt(3) + epsilon
+        )
+
+    def test_certificate_approaches_bound(self):
+        coarse = theorem7_certificate(epsilon=0.05)
+        fine = theorem7_certificate(epsilon=1e-4)
+        bound = (1 + math.sqrt(3)) / 2
+        assert coarse.value < bound
+        assert fine.value > coarse.value
+        assert fine.value == pytest.approx(bound, abs=1e-3)
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(ReproError):
+            theorem7_platform(epsilon=2.0)
+
+
+class TestTheorem8:
+    def test_checkpoint_limit_ratio(self):
+        # The proof: tau / c1 -> (sqrt(13) - 3) / 2 as c1 grows.
+        limit = (math.sqrt(13) - 3) / 2
+        assert theorem8_checkpoint(1e6) / 1e6 == pytest.approx(limit, abs=1e-5)
+
+    def test_checkpoint_below_c1(self):
+        c1 = 100.0
+        assert 0 < theorem8_checkpoint(c1) < c1
+
+    def test_platform_matches_proof(self):
+        c1, epsilon = 100.0, 1e-3
+        platform = theorem8_platform(c1, epsilon)
+        tau = theorem8_checkpoint(c1)
+        assert platform.comm_times == pytest.approx([c1, 1.0, 1.0])
+        assert platform.comp_times == pytest.approx([epsilon, tau + c1 - 1, tau + c1 - 1])
+
+    def test_too_small_c1_rejected(self):
+        with pytest.raises(ReproError):
+            theorem8_platform(c1=0.5, epsilon=0.4)
+
+    def test_certificate_approaches_bound(self):
+        bound = (math.sqrt(13) - 1) / 2
+        coarse = theorem8_certificate(c1=50.0)
+        fine = theorem8_certificate(c1=2000.0, epsilon=1e-4)
+        assert abs(fine.value - bound) < abs(coarse.value - bound) + 1e-9
+        assert fine.value == pytest.approx(bound, rel=2e-3)
+
+
+class TestTheorem9:
+    def test_constants_match_proof(self):
+        c1 = 2 * (1 + math.sqrt(2))
+        assert theorem9_checkpoint() == pytest.approx((math.sqrt(2) - 1) * c1)
+        platform = theorem9_platform(epsilon=1e-3)
+        assert platform.comm_times[0] == pytest.approx(c1)
+        assert platform.comp_times[1] == pytest.approx(math.sqrt(2) * c1 - 1)
+
+    def test_flood_leaf_values_match_proof(self):
+        epsilon = 1e-3
+        platform = theorem9_platform(epsilon)
+        c1 = 2 * (1 + math.sqrt(2))
+        flood = [leaf for leaf in theorem9_leaves(epsilon) if "releases j, k" in leaf.description][0]
+        # Best reachable max-flow 2*c1; optimum sqrt(2)*c1.
+        assert leaf_best_value(platform, flood, Objective.MAX_FLOW) == pytest.approx(2 * c1)
+        assert leaf_optimal_value(platform, flood, Objective.MAX_FLOW) == pytest.approx(
+            math.sqrt(2) * c1
+        )
+
+    def test_certificate_approaches_sqrt2(self):
+        coarse = theorem9_certificate(epsilon=0.05)
+        fine = theorem9_certificate(epsilon=1e-4)
+        assert coarse.value < math.sqrt(2)
+        assert fine.value > coarse.value
+        assert fine.value == pytest.approx(math.sqrt(2), abs=1e-3)
+
+    def test_p1_stays_cheaper_than_slow_processors(self):
+        # The proof needs c1 + p1 < p2 so that P1 remains the attractive
+        # choice for the first task.
+        platform = theorem9_platform(epsilon=1e-3)
+        assert platform.comm_times[0] + platform.comp_times[0] < platform.comp_times[1] + platform.comm_times[1]

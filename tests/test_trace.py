@@ -1,0 +1,85 @@
+"""Unit tests for the Gantt/trace utilities (:mod:`repro.core.trace`)."""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.core.engine import simulate
+from repro.core.platform import Platform
+from repro.core.trace import build_gantt, render_ascii_gantt
+from repro.schedulers.random_policy import FixedAssignmentScheduler
+from repro.workloads.release import all_at_zero
+
+
+@pytest.fixture
+def schedule():
+    platform = Platform.from_times([1.0, 1.0], [3.0, 7.0])
+    return simulate(FixedAssignmentScheduler([0, 1, 0]), platform, all_at_zero(3))
+
+
+class TestBuildGantt:
+    def test_interval_counts(self, schedule):
+        chart = build_gantt(schedule)
+        # One send + one compute interval per task.
+        assert len(chart.intervals) == 2 * len(schedule)
+
+    def test_horizon_is_makespan(self, schedule):
+        chart = build_gantt(schedule)
+        assert chart.horizon == pytest.approx(max(r.compute_end for r in schedule))
+
+    def test_master_lane_busy_time(self, schedule):
+        chart = build_gantt(schedule)
+        assert chart.busy_time("master") == pytest.approx(3.0)  # three sends of c=1
+
+    def test_lanes_sorted_by_start(self, schedule):
+        lanes = build_gantt(schedule).lanes()
+        for intervals in lanes.values():
+            starts = [iv.start for iv in intervals]
+            assert starts == sorted(starts)
+
+    def test_interval_duration(self, schedule):
+        chart = build_gantt(schedule)
+        for interval in chart.intervals:
+            assert interval.duration == pytest.approx(interval.end - interval.start)
+
+
+class TestExport:
+    def test_csv_round_trip(self, schedule):
+        text = build_gantt(schedule).to_csv()
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 2 * len(schedule)
+        assert {row["kind"] for row in rows} == {"send", "compute"}
+
+    def test_json_round_trip(self, schedule):
+        payload = json.loads(build_gantt(schedule).to_json())
+        assert payload["horizon"] > 0
+        assert len(payload["intervals"]) == 2 * len(schedule)
+        assert {"resource", "task_id", "start", "end", "kind"} <= set(payload["intervals"][0])
+
+
+class TestAsciiRendering:
+    def test_contains_all_lanes(self, schedule):
+        text = render_ascii_gantt(schedule)
+        assert "master" in text
+        assert "P1" in text and "P2" in text
+
+    def test_width_respected(self, schedule):
+        text = render_ascii_gantt(schedule, width=40)
+        body_lines = [line for line in text.splitlines() if "|" in line]
+        for line in body_lines:
+            cells = line.split("|")[1]
+            assert len(cells) == 40
+
+    def test_custom_lane_order(self, schedule):
+        text = render_ascii_gantt(schedule, lane_order=["P2", "master"])
+        lines = text.splitlines()
+        assert lines[1].strip().startswith("P2")
+
+    def test_busy_cells_marked(self, schedule):
+        text = render_ascii_gantt(schedule, width=60)
+        master_line = next(line for line in text.splitlines() if line.strip().startswith("master"))
+        assert any(ch.isdigit() for ch in master_line)

@@ -1,0 +1,98 @@
+"""Tests for the theory/practice cross-checks (:mod:`repro.theory.verification`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.metrics import Objective
+from repro.theory.verification import (
+    ASYMPTOTIC_THEOREMS,
+    EXACT_THEOREMS,
+    all_adversaries,
+    all_certificates,
+    bound_violations,
+    verify_certificates,
+    verify_heuristics_against_adversaries,
+)
+
+
+class TestCertificateChecks:
+    def test_nine_certificates(self):
+        results = all_certificates()
+        assert len(results) == 9
+        assert sorted(r.theorem for r in results) == list(range(1, 10))
+
+    def test_exact_theorems_match_bounds(self):
+        for check in verify_certificates():
+            if check.theorem in EXACT_THEOREMS:
+                assert check.game_value == pytest.approx(check.stated_bound, abs=1e-9), check
+
+    def test_asymptotic_theorems_close_to_bounds(self):
+        for check in verify_certificates():
+            if check.theorem in ASYMPTOTIC_THEOREMS:
+                assert 0.0 <= check.gap, check
+                assert check.relative_gap < 0.005, check
+
+    def test_theorem_partition(self):
+        assert set(EXACT_THEOREMS) | set(ASYMPTOTIC_THEOREMS) == set(range(1, 10))
+        assert set(EXACT_THEOREMS) & set(ASYMPTOTIC_THEOREMS) == set()
+
+    def test_objectives_match_table1_layout(self):
+        objectives = {r.theorem: r.objective for r in all_certificates()}
+        assert objectives[1] is Objective.MAKESPAN
+        assert objectives[2] is Objective.SUM_FLOW
+        assert objectives[3] is Objective.MAX_FLOW
+        assert objectives[4] is Objective.MAKESPAN
+        assert objectives[5] is Objective.MAX_FLOW
+        assert objectives[6] is Objective.SUM_FLOW
+        assert objectives[7] is Objective.MAKESPAN
+        assert objectives[8] is Objective.SUM_FLOW
+        assert objectives[9] is Objective.MAX_FLOW
+
+
+class TestAdversaries:
+    def test_nine_adversaries(self):
+        adversaries = all_adversaries()
+        assert len(adversaries) == 9
+        assert sorted(a.theorem for a in adversaries) == list(range(1, 10))
+
+    def test_adversary_platform_classes(self):
+        kinds = {a.theorem: a.platform.kind.value for a in all_adversaries()}
+        assert kinds[1] == "communication-homogeneous"
+        assert kinds[4] == "computation-homogeneous"
+        assert kinds[7] == "heterogeneous"
+
+
+class TestBlackBoxVerification:
+    """Play the adversaries against a subset of heuristics (kept small so the
+    test-suite stays fast; the full sweep lives in the Table 1 benchmark)."""
+
+    HEURISTICS = ("SRPT", "LS", "SLJFWC")
+
+    @pytest.fixture(scope="class")
+    def outcomes(self):
+        return verify_heuristics_against_adversaries(heuristics=self.HEURISTICS)
+
+    def test_every_pair_evaluated(self, outcomes):
+        assert len(outcomes) == 9 * len(self.HEURISTICS)
+
+    def test_no_heuristic_beats_any_bound(self, outcomes):
+        assert bound_violations(outcomes) == []
+
+    def test_ratios_are_meaningful(self, outcomes):
+        for outcome in outcomes:
+            assert outcome.ratio >= 1.0 - 1e-9
+            assert outcome.optimal_value > 0
+            assert outcome.algorithm_value >= outcome.optimal_value - 1e-9
+
+    def test_some_heuristic_attains_theorem1_bound(self, outcomes):
+        """At least one deterministic heuristic is pushed to exactly the
+        Theorem 1 ratio, showing the adversary is tight, not just valid."""
+        theorem1 = [o for o in outcomes if o.theorem == 1]
+        assert any(o.ratio == pytest.approx(1.25, abs=1e-9) for o in theorem1)
+
+    def test_subset_of_theorems_can_be_selected(self):
+        outcomes = verify_heuristics_against_adversaries(
+            heuristics=("LS",), theorems=(1, 6)
+        )
+        assert {o.theorem for o in outcomes} == {1, 6}
