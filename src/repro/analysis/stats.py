@@ -15,7 +15,14 @@ import numpy as np
 
 from ..exceptions import ExperimentError
 
-__all__ = ["SampleSummary", "summarise", "geometric_mean", "bootstrap_ci", "aggregate_metrics"]
+__all__ = [
+    "SampleSummary",
+    "RunningStat",
+    "summarise",
+    "geometric_mean",
+    "bootstrap_ci",
+    "aggregate_metrics",
+]
 
 
 @dataclass(frozen=True)
@@ -37,6 +44,66 @@ class SampleSummary:
             "std": self.std,
             "min": self.minimum,
             "median": self.median,
+            "max": self.maximum,
+            "geo_mean": self.geo_mean,
+        }
+
+
+class RunningStat:
+    """Streaming (Welford) accumulator over one scalar metric.
+
+    Used by the campaign runner to aggregate per-cell metrics as they are
+    produced, without retaining every sample.  Values must be fed in a
+    deterministic order (the runner feeds them in grid-index order) for the
+    floating-point results to be reproducible run over run.
+    """
+
+    __slots__ = ("n", "mean", "_m2", "minimum", "maximum", "_log_sum", "_all_positive")
+
+    def __init__(self) -> None:
+        self.n = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        self._log_sum = 0.0
+        self._all_positive = True
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        if not math.isfinite(value):
+            raise ExperimentError(f"cannot accumulate non-finite value {value}")
+        self.n += 1
+        delta = value - self.mean
+        self.mean += delta / self.n
+        self._m2 += delta * (value - self.mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+        if value > 0 and self._all_positive:
+            self._log_sum += math.log(value)
+        else:
+            self._all_positive = False
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (ddof=1), 0 for fewer than two values."""
+        return math.sqrt(self._m2 / (self.n - 1)) if self.n > 1 else 0.0
+
+    @property
+    def geo_mean(self) -> float:
+        """Geometric mean, NaN unless every accumulated value was positive."""
+        if self.n == 0 or not self._all_positive:
+            return math.nan
+        return math.exp(self._log_sum / self.n)
+
+    def as_dict(self) -> Dict[str, float]:
+        if self.n == 0:
+            raise ExperimentError("cannot summarise an empty running statistic")
+        return {
+            "n": float(self.n),
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
             "max": self.maximum,
             "geo_mean": self.geo_mean,
         }

@@ -1,0 +1,32 @@
+"""Experiment campaign subsystem.
+
+Separates "one simulation" (a :class:`~repro.campaigns.grid.CampaignCell`)
+from "a campaign of simulations" (a grid executed by
+:func:`~repro.campaigns.runner.run_campaign`): the experiment modules under
+:mod:`repro.experiments` declare grids, and this package decides how the
+cells execute — serially, across worker processes, or straight from the
+on-disk result cache — with bit-identical output either way.
+"""
+
+from .cache import CampaignCache
+from .cells import CELL_RUNNERS, run_cell
+from .grid import CampaignCell, cell_rng, stable_entropy
+from .runner import (
+    CampaignResult,
+    StreamingAggregator,
+    default_worker_count,
+    run_campaign,
+)
+
+__all__ = [
+    "CampaignCache",
+    "CampaignCell",
+    "CampaignResult",
+    "CELL_RUNNERS",
+    "StreamingAggregator",
+    "cell_rng",
+    "default_worker_count",
+    "run_campaign",
+    "run_cell",
+    "stable_entropy",
+]

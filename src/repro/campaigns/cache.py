@@ -1,0 +1,87 @@
+"""On-disk result cache for campaign cells.
+
+Every cell result is stored in its own JSON file named by the cell's
+content hash (:meth:`~repro.campaigns.grid.CampaignCell.cache_key`), so
+
+* re-running a campaign with the same configuration costs one ``stat`` and
+  one small JSON read per cell instead of a simulation;
+* changing *any* parameter of a cell (seed, task count, platform ranges,
+  scheduler, ...) changes its hash and transparently misses the cache;
+* several worker processes — or several concurrent campaigns — can share a
+  cache directory: writes go through a per-process temporary file followed
+  by an atomic :func:`os.replace`, and a torn or hand-edited entry is
+  detected by re-checking the stored configuration and treated as a miss.
+
+The cache stores the full cell configuration next to the metrics, which
+makes entries self-describing (``jq .config`` tells you exactly which cell a
+file belongs to) and guards against the astronomically unlikely hash
+collision.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from ..exceptions import CampaignError
+from .grid import CampaignCell
+
+__all__ = ["CampaignCache"]
+
+
+class CampaignCache:
+    """Directory-backed cache mapping cell configurations to metric dicts."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, cell: CampaignCell) -> Path:
+        return self.root / f"{cell.cache_key()}.json"
+
+    def load(self, cell: CampaignCell) -> Optional[Dict[str, Any]]:
+        """Return the cached metrics for ``cell``, or ``None`` on a miss."""
+        path = self._path(cell)
+        try:
+            with path.open("r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (FileNotFoundError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        if payload.get("config") != cell.config():
+            # hash collision or corrupted/hand-edited entry: recompute
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload["metrics"]
+
+    def store(self, cell: CampaignCell, metrics: Dict[str, Any]) -> None:
+        """Atomically persist the metrics of one computed cell."""
+        if not isinstance(metrics, dict):
+            raise CampaignError(
+                f"cell metrics must be a dict, got {type(metrics).__name__}"
+            )
+        payload = {"config": cell.config(), "metrics": metrics}
+        path = self._path(cell)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        with tmp.open("w", encoding="utf-8") as handle:
+            json.dump(payload, handle, sort_keys=True)
+        os.replace(tmp, path)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number of files removed."""
+        removed = 0
+        for path in self.root.glob("*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"CampaignCache(root={str(self.root)!r}, hits={self.hits}, misses={self.misses})"

@@ -1,0 +1,158 @@
+"""Campaign grids — the declarative half of the campaign subsystem.
+
+A *campaign* is a grid of independent simulation *cells* — typically the
+cartesian product (platform × scheduler × seed × perturbation) behind one
+paper figure.  Each cell is a small, immutable, picklable description of one
+unit of work; the runner (:mod:`repro.campaigns.runner`) decides how the
+cells execute (serially, across processes, or straight from the on-disk
+cache), while the experiment modules only *declare* which cells they need and
+how to aggregate the per-cell metrics.
+
+Two properties make the fan-out safe:
+
+* **Deterministic per-cell seeding** — :func:`cell_rng` derives an
+  independent :class:`numpy.random.SeedSequence` from the campaign's root
+  seed and the cell's coordinates, so a cell's randomness never depends on
+  which worker computes it, in which order, or whether sibling cells were
+  served from the cache.  Parallel and serial campaigns are therefore
+  bit-identical.
+* **Content-addressed identity** — :meth:`CampaignCell.cache_key` hashes the
+  cell's full configuration (but *not* its position in the grid), so the
+  result cache recognises a cell across campaigns that enumerate their grids
+  differently.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+import numpy as np
+
+from ..exceptions import CampaignError
+
+__all__ = ["CampaignCell", "cell_rng", "resolve_root_seed", "stable_entropy"]
+
+_MISSING = object()
+
+
+def _jsonable(value: Any) -> Any:
+    """Normalise a parameter value into a canonical JSON-able form."""
+    if isinstance(value, (bool, str)) or value is None:
+        return value
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        return float(value)
+    if isinstance(value, (tuple, list)):
+        return [_jsonable(item) for item in value]
+    raise CampaignError(
+        f"cell parameter of type {type(value).__name__} is not JSON-serialisable"
+    )
+
+
+@dataclass(frozen=True)
+class CampaignCell:
+    """One unit of work inside a campaign grid.
+
+    Attributes
+    ----------
+    experiment:
+        Name of the cell runner (``"figure1"``, ``"figure2"``, ``"sweep"``,
+        ``"table1"``); resolved by :mod:`repro.campaigns.cells`.
+    index:
+        Position of the cell in its grid.  Aggregation happens in index
+        order, which is what makes campaign output independent of the
+        completion order of parallel workers.  The index is *not* part of
+        the cell's cached identity.
+    params:
+        Sorted ``(key, value)`` pairs fully describing the cell's
+        configuration (values are canonical JSON-able scalars or lists).
+    """
+
+    experiment: str
+    index: int
+    params: Tuple[Tuple[str, Any], ...]
+
+    @classmethod
+    def make(cls, experiment: str, index: int, **params: Any) -> "CampaignCell":
+        """Build a cell with canonicalised, sorted parameters."""
+        if not experiment:
+            raise CampaignError("cell experiment name must be non-empty")
+        if index < 0:
+            raise CampaignError(f"cell index must be non-negative, got {index}")
+        canonical = tuple(
+            sorted((key, _as_hashable(_jsonable(value))) for key, value in params.items())
+        )
+        return cls(experiment=experiment, index=index, params=canonical)
+
+    def param(self, key: str, default: Any = _MISSING) -> Any:
+        """Look up one configuration parameter."""
+        for existing_key, value in self.params:
+            if existing_key == key:
+                return value
+        if default is _MISSING:
+            raise CampaignError(f"cell has no parameter {key!r} ({self.experiment})")
+        return default
+
+    def config(self) -> Dict[str, Any]:
+        """The cell's full configuration (cache identity), index excluded."""
+        return {
+            "experiment": self.experiment,
+            "params": {key: _jsonable(value) for key, value in self.params},
+        }
+
+    def config_json(self) -> str:
+        """Canonical JSON encoding of :meth:`config`."""
+        return json.dumps(self.config(), sort_keys=True, separators=(",", ":"))
+
+    def cache_key(self) -> str:
+        """Content hash naming this cell's entry in the result cache."""
+        return hashlib.sha256(self.config_json().encode("utf-8")).hexdigest()
+
+def _as_hashable(value: Any) -> Any:
+    """Recursively convert lists into tuples so cells stay hashable."""
+    if isinstance(value, list):
+        return tuple(_as_hashable(item) for item in value)
+    return value
+
+
+def stable_entropy(value: Any) -> int:
+    """Map an arbitrary coordinate to a stable 64-bit entropy word.
+
+    Integers pass through (masked to 64 bits); everything else is hashed with
+    SHA-256 so the result does not depend on ``PYTHONHASHSEED`` or on the
+    process computing it.
+    """
+    if isinstance(value, (int, np.integer)) and not isinstance(value, bool):
+        return int(value) & 0xFFFFFFFFFFFFFFFF
+    digest = hashlib.sha256(repr(value).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+def resolve_root_seed(seed: Any) -> int:
+    """Pin down a campaign's root seed before its grid is built.
+
+    ``None`` draws fresh OS entropy *once*, so that even an unseeded campaign
+    is internally consistent: every cell of the grid embeds the same root and
+    parallel execution still reproduces serial execution exactly.  Integers
+    pass through; a :class:`numpy.random.Generator` contributes one draw.
+    """
+    if seed is None:
+        return int(np.random.SeedSequence().entropy) & 0xFFFFFFFFFFFFFFFF
+    if isinstance(seed, np.random.Generator):
+        return int(seed.integers(0, 2**63))
+    return int(seed)
+
+
+def cell_rng(root_seed: int, *coordinates: Any) -> np.random.Generator:
+    """Independent generator for one grid coordinate.
+
+    The stream depends only on ``(root_seed, coordinates)`` — never on
+    execution order or the worker process — which is the determinism
+    contract that makes parallel campaigns reproduce serial ones exactly.
+    """
+    entropy = [stable_entropy(root_seed)] + [stable_entropy(c) for c in coordinates]
+    return np.random.default_rng(np.random.SeedSequence(entropy))

@@ -6,6 +6,11 @@ regenerates the paper's tables and figures from a terminal:
 * ``table1`` — the nine certified lower bounds;
 * ``figure1`` — the heuristic comparison on the four platform classes;
 * ``figure2`` — the robustness experiment;
+* ``campaign`` — any of the above (plus the heterogeneity sweep) through
+  the process-parallel campaign runner: ``--workers N`` fans the grid out
+  over N processes, ``--cache-dir`` caches per-cell results on disk so a
+  re-run only simulates what changed.  The report on stdout is
+  byte-identical for any worker count; execution statistics go to stderr.
 * ``demo`` — a single small run with an ASCII Gantt chart, useful as a
   smoke test of the engine and of one scheduler.
 """
@@ -16,6 +21,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .campaigns.cache import CampaignCache
 from .core.engine import simulate
 from .core.metrics import evaluate
 from .core.platform import Platform
@@ -26,13 +32,22 @@ from .experiments.figure2 import run_figure2
 from .experiments.reporting import (
     format_figure1,
     format_figure2,
+    format_sweep,
     format_table1_result,
 )
+from .experiments.sweep import run_heterogeneity_sweep
 from .experiments.table1 import run_table1
 from .schedulers.base import available_schedulers, create_scheduler
 from .workloads.release import all_at_zero
 
 __all__ = ["build_parser", "main"]
+
+
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -76,6 +91,66 @@ def build_parser() -> argparse.ArgumentParser:
     figure2.add_argument("--seed", type=int, default=2006)
     figure2.add_argument("--amplitude", type=float, default=0.10)
 
+    campaign = subparsers.add_parser(
+        "campaign",
+        help="run an experiment campaign through the parallel runner",
+        description=(
+            "Run an experiment as a campaign grid: cells fan out over worker "
+            "processes and individual results are cached on disk.  The "
+            "aggregated report on stdout is byte-identical for any --workers "
+            "value; cache/compute statistics are printed to stderr."
+        ),
+    )
+    campaign.add_argument(
+        "experiment",
+        choices=("figure1", "figure2", "sweep", "table1"),
+        help="which campaign grid to run",
+    )
+    campaign.add_argument(
+        "--workers",
+        type=_nonnegative_int,
+        default=1,
+        help="worker processes (1 = serial, 0 = all CPUs)",
+    )
+    campaign.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="on-disk result cache; re-runs skip already-computed cells",
+    )
+    campaign.add_argument("--platforms", type=int, default=10, help="platforms per grid")
+    campaign.add_argument("--tasks", type=int, default=1000, help="tasks per run")
+    campaign.add_argument("--seed", type=int, default=2006)
+    campaign.add_argument(
+        "--panels", nargs="+", default=None, metavar="PANEL",
+        help="figure1 only: subset of panels (1a 1b 1c 1d)",
+    )
+    campaign.add_argument(
+        "--cluster", action="store_true",
+        help="figure1 only: drive the cells through the simulated MPI cluster",
+    )
+    campaign.add_argument(
+        "--amplitude", type=float, default=0.10,
+        help="figure2 only: task-size perturbation amplitude",
+    )
+    campaign.add_argument(
+        "--perturbations", type=int, default=3,
+        help="figure2 only: perturbed workloads per platform",
+    )
+    campaign.add_argument(
+        "--dimension", default="both",
+        choices=("communication", "computation", "both"),
+        help="sweep only: which platform parameter is spread",
+    )
+    campaign.add_argument(
+        "--factors", type=float, nargs="+", default=[1.0, 2.0, 4.0, 8.0, 16.0],
+        metavar="F", help="sweep only: heterogeneity factors",
+    )
+    campaign.add_argument(
+        "--heuristics", action="store_true",
+        help="table1 only: also play every heuristic against every adversary",
+    )
+
     demo = subparsers.add_parser("demo", help="run one scheduler and print a Gantt chart")
     demo.add_argument("--scheduler", default="LS", choices=available_schedulers())
     demo.add_argument("--tasks", type=int, default=12)
@@ -118,6 +193,57 @@ def _cmd_figure2(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    cache = CampaignCache(args.cache_dir) if args.cache_dir else None
+    if args.experiment == "figure1":
+        config = Figure1Config(
+            n_platforms=args.platforms,
+            n_tasks=args.tasks,
+            seed=args.seed,
+            use_cluster=args.cluster,
+        )
+        result = run_figure1(config, panels=args.panels, workers=args.workers, cache=cache)
+        report = format_figure1(result)
+    elif args.experiment == "figure2":
+        config = Figure2Config(
+            n_platforms=args.platforms,
+            n_tasks=args.tasks,
+            seed=args.seed,
+            perturbation_amplitude=args.amplitude,
+            n_perturbations=args.perturbations,
+        )
+        report = format_figure2(run_figure2(config, workers=args.workers, cache=cache))
+    elif args.experiment == "sweep":
+        sweep = run_heterogeneity_sweep(
+            dimension=args.dimension,
+            factors=tuple(args.factors),
+            n_tasks=args.tasks,
+            n_platforms=args.platforms,
+            rng=args.seed,
+            workers=args.workers,
+            cache=cache,
+        )
+        report = format_sweep(sweep)
+    else:  # table1
+        result = run_table1(
+            include_heuristics=args.heuristics, workers=args.workers, cache=cache
+        )
+        report = format_table1_result(result)
+
+    # Execution statistics go to stderr so stdout stays byte-identical
+    # across worker counts and cache states.
+    if cache is not None:
+        print(
+            f"campaign: {cache.misses} cell(s) computed, "
+            f"{cache.hits} served from cache (workers={args.workers})",
+            file=sys.stderr,
+        )
+    else:
+        print(f"campaign: no cache (workers={args.workers})", file=sys.stderr)
+    print(report)
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     if len(args.comm) != len(args.comp):
         print("error: --comm and --comp must have the same length", file=sys.stderr)
@@ -145,6 +271,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "table1": _cmd_table1,
         "figure1": _cmd_figure1,
         "figure2": _cmd_figure2,
+        "campaign": _cmd_campaign,
         "demo": _cmd_demo,
     }
     return handlers[args.command](args)

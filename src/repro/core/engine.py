@@ -39,6 +39,7 @@ Returning ``wait`` while no future event exists raises
 from __future__ import annotations
 
 import math
+from bisect import insort
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, TYPE_CHECKING
 
@@ -67,7 +68,7 @@ __all__ = [
 # ---------------------------------------------------------------------------
 # Decisions
 # ---------------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Decision:
     """What a scheduler wants the engine to do at a decision point.
 
@@ -106,7 +107,7 @@ class Decision:
 # ---------------------------------------------------------------------------
 # Scheduler-facing views
 # ---------------------------------------------------------------------------
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WorkerView:
     """What a scheduler may know about one worker at a decision point.
 
@@ -147,7 +148,7 @@ class WorkerView:
         return max(arrival, self.ready_time) + self.p * comp_factor
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class SchedulerView:
     """Immutable snapshot handed to the scheduler at a decision point."""
 
@@ -197,8 +198,30 @@ class _WorkerState:
     queue: List[Tuple[int, float]] = field(default_factory=list)
     #: (task_id, finish_time) of the task currently computing, if any
     computing: Optional[Tuple[int, float]] = None
+    #: memoised view for busy workers: (ready_time, backlog, completed) key
+    _view_key: Optional[Tuple[float, int, int]] = None
+    _view_cache: Optional[WorkerView] = None
 
     def view(self, now: float) -> WorkerView:
+        if self.backlog and self.ready_time >= now:
+            # While a worker is busy its view does not depend on `now`, so the
+            # same frozen WorkerView can be handed out until the next state
+            # change — the engine consults the scheduler at every decision
+            # point, and rebuilding m views each time dominated the hot path.
+            key = (self.ready_time, self.backlog, self.completed)
+            if key == self._view_key:
+                return self._view_cache  # type: ignore[return-value]
+            view = WorkerView(
+                worker_id=self.worker.worker_id,
+                c=self.worker.c,
+                p=self.worker.p,
+                ready_time=self.ready_time,
+                backlog=self.backlog,
+                completed=self.completed,
+            )
+            self._view_key = key
+            self._view_cache = view
+            return view
         return WorkerView(
             worker_id=self.worker.worker_id,
             c=self.worker.c,
@@ -379,16 +402,24 @@ class OnePortEngine:
     # -- event handlers --------------------------------------------------------
     def _on_release(self, task_id: int) -> None:
         task = self.tasks.by_id(task_id)
-        self._pending.append(task)
-        self._pending.sort()  # keep FIFO (release, id) order
+        insort(self._pending, task)  # keep FIFO (release, id) order
         self._n_released += 1
 
     def _start_send(self, task_id: int, worker_id: int) -> None:
-        pending_ids = [t.task_id for t in self._pending]
-        if task_id not in pending_ids:
-            raise InvalidDecisionError(
-                f"task {task_id} is not pending (pending: {pending_ids})"
-            )
+        # FIFO schedulers almost always pick the head of the pending list, so
+        # check it first before scanning.
+        pending = self._pending
+        if pending and pending[0].task_id == task_id:
+            pending_index = 0
+        else:
+            for pending_index, candidate in enumerate(pending):
+                if candidate.task_id == task_id:
+                    break
+            else:
+                raise InvalidDecisionError(
+                    f"task {task_id} is not pending "
+                    f"(pending: {[t.task_id for t in pending]})"
+                )
         if not 0 <= worker_id < len(self._workers):
             raise InvalidDecisionError(f"unknown worker {worker_id}")
         task = self.tasks.by_id(task_id)
@@ -405,7 +436,7 @@ class OnePortEngine:
         )
         worker_state.backlog += 1
 
-        self._pending = [t for t in self._pending if t.task_id != task_id]
+        del pending[pending_index]
         self._records[task_id] = _PartialRecord(
             task_id=task_id,
             worker_id=worker_id,

@@ -40,7 +40,7 @@ class EventKind(enum.IntEnum):
     WAKEUP = 3
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Event:
     """A single simulation event.
 
@@ -64,10 +64,15 @@ class EventQueue:
     The queue assigns a monotonically increasing sequence number to each
     pushed event so that events with identical time and kind are processed in
     insertion order — this keeps the simulation fully deterministic.
+
+    Heap entries are plain ``(time, kind, sequence, event)`` tuples rather
+    than the events themselves: tuple comparisons run in C, whereas comparing
+    dataclass instances would rebuild a field tuple per comparison on the
+    engine's hottest path.
     """
 
     def __init__(self) -> None:
-        self._heap: List[Event] = []
+        self._heap: List[tuple] = []
         self._counter = itertools.count()
 
     def __len__(self) -> int:
@@ -78,7 +83,7 @@ class EventQueue:
 
     def __iter__(self) -> Iterator[Event]:
         """Iterate over pending events in an unspecified order (heap order)."""
-        return iter(list(self._heap))
+        return iter([entry[3] for entry in self._heap])
 
     def push(
         self,
@@ -88,27 +93,28 @@ class EventQueue:
         worker_id: int = -1,
     ) -> Event:
         """Create an event and insert it into the queue."""
+        sequence = next(self._counter)
         event = Event(
             time=time,
             kind=kind,
-            sequence=next(self._counter),
+            sequence=sequence,
             task_id=task_id,
             worker_id=worker_id,
         )
-        heapq.heappush(self._heap, event)
+        heapq.heappush(self._heap, (time, kind, sequence, event))
         return event
 
     def pop(self) -> Event:
         """Remove and return the earliest event."""
         if not self._heap:
             raise SchedulingError("pop from an empty event queue")
-        return heapq.heappop(self._heap)
+        return heapq.heappop(self._heap)[3]
 
     def peek(self) -> Optional[Event]:
         """Return the earliest event without removing it, or ``None``."""
-        return self._heap[0] if self._heap else None
+        return self._heap[0][3] if self._heap else None
 
     @property
     def next_time(self) -> Optional[float]:
         """Time of the earliest pending event, or ``None`` when empty."""
-        return self._heap[0].time if self._heap else None
+        return self._heap[0][0] if self._heap else None

@@ -23,7 +23,7 @@ from ..exceptions import TaskError
 __all__ = ["Task", "TaskSet", "identical_tasks"]
 
 
-@dataclass(frozen=True, order=True)
+@dataclass(frozen=True, order=True, slots=True)
 class Task:
     """A single unit-size task.
 

@@ -50,3 +50,8 @@ class CalibrationError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment configuration is inconsistent."""
+
+
+class CampaignError(ReproError):
+    """Raised when a campaign grid, cache or runner is misused (unknown cell
+    experiment, corrupt cache entry, invalid worker count, ...)."""

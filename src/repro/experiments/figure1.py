@@ -7,8 +7,16 @@ run and plotting, for every heuristic, the makespan, sum-flow and max-flow
 normalised to SRPT.
 
 :func:`run_figure1_panel` regenerates one diagram (one platform class);
-:func:`run_figure1` regenerates all four.  The qualitative findings the paper
-reports — and which EXPERIMENTS.md records against our measurements — are:
+:func:`run_figure1` regenerates all four.  Both *declare* a campaign grid —
+one :class:`~repro.campaigns.grid.CampaignCell` per (platform, heuristic)
+pair — and delegate execution to :func:`repro.campaigns.runner.run_campaign`,
+which fans the cells out over worker processes and serves repeats from the
+on-disk cache.  Every cell derives its platform from the campaign's root
+seed and its own grid coordinates, so ``workers=8`` reproduces ``workers=1``
+bit for bit.
+
+The qualitative findings the paper reports — and which EXPERIMENTS.md
+records against our measurements — are:
 
 * Figure 1(a): on homogeneous platforms every static heuristic performs the
   same and beats SRPT;
@@ -29,14 +37,27 @@ from typing import Dict, List, Mapping, Optional, Sequence
 import numpy as np
 
 from ..analysis.normalize import normalise_to_reference
-from ..core.platform import Platform, PlatformKind
+from ..campaigns.cache import CampaignCache
+from ..campaigns.grid import CampaignCell, cell_rng, resolve_root_seed
+from ..campaigns.runner import run_campaign
+from ..core.engine import simulate
+from ..core.metrics import evaluate
+from ..core.platform import PlatformKind
 from ..exceptions import ExperimentError
-from ..mpi_sim.runner import run_cluster_campaign, run_heuristics_on_platform
+from ..schedulers.base import create_scheduler
 from ..workloads.platforms import PlatformSpec, random_platform
-from ..workloads.release import all_at_zero, as_rng
-from .config import METRIC_NAMES, Figure1Config
+from ..workloads.release import all_at_zero
+from .config import Figure1Config
 
-__all__ = ["PanelResult", "Figure1Result", "run_figure1_panel", "run_figure1", "FIGURE1_PANELS"]
+__all__ = [
+    "PanelResult",
+    "Figure1Result",
+    "figure1_panel_grid",
+    "run_figure1_cell",
+    "run_figure1_panel",
+    "run_figure1",
+    "FIGURE1_PANELS",
+]
 
 #: The four panels of Figure 1 in the paper's order.
 FIGURE1_PANELS: Dict[str, PlatformKind] = {
@@ -106,31 +127,103 @@ def _mean_nested(
     return result
 
 
-def run_figure1_panel(config: Figure1Config) -> PanelResult:
-    """Run one Figure 1 diagram (one platform class)."""
-    rng = as_rng(config.seed)
-    tasks = all_at_zero(config.n_tasks)
-    per_platform: List[Dict[str, Dict[str, float]]] = []
-    for _ in range(config.n_platforms):
-        if config.use_cluster:
-            run = run_cluster_campaign(
-                config.kind,
+# ---------------------------------------------------------------------------
+# Campaign grid declaration + cell runner
+# ---------------------------------------------------------------------------
+def figure1_panel_grid(config: Figure1Config, root_seed: int) -> List[CampaignCell]:
+    """The (platform × heuristic) grid of one Figure 1 diagram.
+
+    Grid order is platform-major: all heuristics of platform 0, then all of
+    platform 1, ...  Aggregation relies on this order.
+    """
+    cells: List[CampaignCell] = []
+    for platform_index in range(config.n_platforms):
+        for scheduler in config.heuristics:
+            params = dict(
+                kind=config.kind.value,
+                platform_index=platform_index,
+                scheduler=scheduler,
                 n_tasks=config.n_tasks,
-                heuristics=config.heuristics,
-                rng=rng,
-                tasks=tasks,
+                seed=root_seed,
+                use_cluster=config.use_cluster,
             )
-            metrics = run.metrics
-        else:
-            spec = PlatformSpec(
-                kind=config.kind,
-                n_workers=config.n_workers,
-                comm_range=config.comm_range,
-                comp_range=config.comp_range,
-            )
-            platform = random_platform(spec, rng)
-            metrics = run_heuristics_on_platform(platform, tasks, config.heuristics)
-        per_platform.append(metrics)
+            if not config.use_cluster:
+                # The cluster path derives its platform from the calibration
+                # protocol; the draw parameters would be dead weight in the
+                # cell's cache identity there.
+                params.update(
+                    n_workers=config.n_workers,
+                    comm_range=config.comm_range,
+                    comp_range=config.comp_range,
+                )
+            cells.append(CampaignCell.make("figure1", len(cells), **params))
+    return cells
+
+
+def run_figure1_cell(cell: CampaignCell) -> Dict[str, float]:
+    """Execute one (platform, heuristic) simulation of Figure 1.
+
+    The platform is re-derived from ``(seed, kind, platform_index)`` only, so
+    every heuristic cell of the same platform index sees the same platform no
+    matter which process runs it.
+    """
+    kind = PlatformKind(cell.param("kind"))
+    seed = cell.param("seed")
+    platform_index = cell.param("platform_index")
+    if cell.param("use_cluster"):
+        from ..mpi_sim.calibration import calibrate_to_kind
+        from ..mpi_sim.cluster import default_cluster
+
+        rng = cell_rng(seed, "figure1/cluster", kind.value, platform_index)
+        cluster = default_cluster(rng)
+        platform = calibrate_to_kind(cluster, kind, rng=rng).platform
+    else:
+        rng = cell_rng(seed, "figure1/platform", kind.value, platform_index)
+        spec = PlatformSpec(
+            kind=kind,
+            n_workers=cell.param("n_workers"),
+            comm_range=tuple(cell.param("comm_range")),
+            comp_range=tuple(cell.param("comp_range")),
+        )
+        platform = random_platform(spec, rng)
+    tasks = all_at_zero(cell.param("n_tasks"))
+    scheduler = create_scheduler(cell.param("scheduler"))
+    schedule = simulate(scheduler, platform, tasks, expose_task_count=True)
+    metrics = evaluate(schedule)
+    return {
+        "makespan": metrics.makespan,
+        "sum_flow": metrics.sum_flow,
+        "max_flow": metrics.max_flow,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Campaign drivers
+# ---------------------------------------------------------------------------
+def run_figure1_panel(
+    config: Figure1Config,
+    workers: int = 1,
+    cache: Optional[CampaignCache] = None,
+) -> PanelResult:
+    """Run one Figure 1 diagram (one platform class)."""
+    root_seed = resolve_root_seed(config.seed)
+    cells = figure1_panel_grid(config, root_seed)
+    campaign = run_campaign(
+        cells,
+        workers=workers,
+        cache=cache,
+        group_key=lambda cell: cell.param("scheduler"),
+    )
+    n_heuristics = len(config.heuristics)
+    per_platform: List[Dict[str, Dict[str, float]]] = []
+    for platform_index in range(config.n_platforms):
+        base = platform_index * n_heuristics
+        per_platform.append(
+            {
+                name: dict(campaign.metrics[base + offset])
+                for offset, name in enumerate(config.heuristics)
+            }
+        )
 
     per_platform_normalised = [
         normalise_to_reference(metrics, config.reference) for metrics in per_platform
@@ -148,6 +241,8 @@ def run_figure1_panel(config: Figure1Config) -> PanelResult:
 def run_figure1(
     base_config: Optional[Figure1Config] = None,
     panels: Optional[Sequence[str]] = None,
+    workers: int = 1,
+    cache: Optional[CampaignCache] = None,
 ) -> Figure1Result:
     """Run all (or a subset of) the four Figure 1 diagrams."""
     from dataclasses import replace
@@ -161,5 +256,5 @@ def run_figure1(
                 f"unknown Figure 1 panel {name!r}; available: {sorted(FIGURE1_PANELS)}"
             )
         panel_config = replace(config, kind=FIGURE1_PANELS[name])
-        results[name] = run_figure1_panel(panel_config)
+        results[name] = run_figure1_panel(panel_config, workers=workers, cache=cache)
     return Figure1Result(panels=results)

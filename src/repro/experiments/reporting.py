@@ -13,6 +13,7 @@ from typing import Dict, Iterable, Mapping, Sequence
 from .config import METRIC_NAMES
 from .figure1 import Figure1Result, PanelResult
 from .figure2 import Figure2Result
+from .sweep import HeterogeneitySweepResult
 from .table1 import Table1Result
 
 __all__ = [
@@ -20,6 +21,7 @@ __all__ = [
     "format_panel",
     "format_figure1",
     "format_figure2",
+    "format_sweep",
     "format_table1_result",
 ]
 
@@ -78,6 +80,22 @@ def format_figure2(result: Figure2Result, precision: int = 3) -> str:
         result.mean_ratios, precision=precision, row_order=list(cfg.heuristics)
     )
     return f"{title}\n{table}"
+
+
+def format_sweep(result: HeterogeneitySweepResult, precision: int = 3) -> str:
+    """Render the heterogeneity sweep, one block per heterogeneity factor."""
+    blocks = [
+        f"Heterogeneity sweep — dimension: {result.dimension}, "
+        f"factors: {', '.join(f'{f:g}' for f in result.factors)}"
+    ]
+    for point in result.points:
+        table = format_metric_table(point.normalised, precision=precision)
+        spreads = ", ".join(
+            f"{_METRIC_LABELS.get(metric, metric)} {point.spread[metric]:.{precision}f}"
+            for metric in METRIC_NAMES
+        )
+        blocks.append(f"factor {point.factor:g} (spread: {spreads})\n{table}")
+    return "\n\n".join(blocks)
 
 
 def format_table1_result(result: Table1Result, precision: int = 4) -> str:

@@ -7,6 +7,11 @@ the spread of the platform parameters by a controllable factor and measures
 how the gap between the on-line heuristics widens as the platform becomes
 more heterogeneous, for either dimension separately or both together.
 
+Like the paper's figures, the sweep declares its (factor × platform ×
+heuristic) grid as campaign cells and delegates execution to
+:func:`repro.campaigns.runner.run_campaign`, so large sweeps parallelise
+over processes and re-runs resolve from the result cache.
+
 The sweep is an extension (not a published figure); it is exercised by
 ``benchmarks/bench_ablation_heterogeneity_sweep.py`` and documented in
 EXPERIMENTS.md alongside the other ablations.
@@ -20,13 +25,23 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..analysis.normalize import normalise_to_reference
+from ..campaigns.cache import CampaignCache
+from ..campaigns.grid import CampaignCell, cell_rng, resolve_root_seed
+from ..campaigns.runner import run_campaign
+from ..core.engine import simulate
+from ..core.metrics import evaluate
 from ..core.platform import Platform
 from ..exceptions import ExperimentError
-from ..mpi_sim.runner import run_heuristics_on_platform
-from ..schedulers.base import PAPER_HEURISTICS
-from ..workloads.release import RngLike, all_at_zero, as_rng
+from ..schedulers.base import PAPER_HEURISTICS, create_scheduler
+from ..workloads.release import RngLike, all_at_zero
 
-__all__ = ["SweepPoint", "HeterogeneitySweepResult", "run_heterogeneity_sweep"]
+__all__ = [
+    "SweepPoint",
+    "HeterogeneitySweepResult",
+    "sweep_grid",
+    "run_sweep_cell",
+    "run_heterogeneity_sweep",
+]
 
 #: Geometric-mean communication and computation times used as the sweep's
 #: homogeneous baseline (the centre of the paper's parameter ranges).
@@ -76,6 +91,68 @@ class HeterogeneitySweepResult:
         return all(later >= earlier - slack for earlier, later in zip(curve, curve[1:]))
 
 
+# ---------------------------------------------------------------------------
+# Campaign grid declaration + cell runner
+# ---------------------------------------------------------------------------
+def sweep_grid(
+    dimension: str,
+    factors: Sequence[float],
+    n_workers: int,
+    n_tasks: int,
+    n_platforms: int,
+    heuristics: Sequence[str],
+    root_seed: int,
+) -> List[CampaignCell]:
+    """The (factor × platform × heuristic) grid, factor-major."""
+    cells: List[CampaignCell] = []
+    for factor_index, factor in enumerate(factors):
+        for platform_index in range(n_platforms):
+            for scheduler in heuristics:
+                cells.append(
+                    CampaignCell.make(
+                        "sweep",
+                        len(cells),
+                        dimension=dimension,
+                        factor=float(factor),
+                        factor_index=factor_index,
+                        platform_index=platform_index,
+                        scheduler=scheduler,
+                        n_workers=n_workers,
+                        n_tasks=n_tasks,
+                        seed=root_seed,
+                    )
+                )
+    return cells
+
+
+def run_sweep_cell(cell: CampaignCell) -> Dict[str, float]:
+    """Execute one (factor, platform, heuristic) simulation of the sweep."""
+    seed = cell.param("seed")
+    dimension = cell.param("dimension")
+    factor = cell.param("factor")
+    factor_index = cell.param("factor_index")
+    platform_index = cell.param("platform_index")
+    n_workers = cell.param("n_workers")
+    rng = cell_rng(seed, "sweep/platform", dimension, factor_index, platform_index)
+    comm_factor = factor if dimension in ("communication", "both") else 1.0
+    comp_factor = factor if dimension in ("computation", "both") else 1.0
+    comm = _spread(_BASE_COMM, comm_factor, n_workers, rng)
+    comp = _spread(_BASE_COMP, comp_factor, n_workers, rng)
+    platform = Platform.from_times(comm, comp)
+    tasks = all_at_zero(cell.param("n_tasks"))
+    scheduler = create_scheduler(cell.param("scheduler"))
+    schedule = simulate(scheduler, platform, tasks, expose_task_count=True)
+    metrics = evaluate(schedule)
+    return {
+        "makespan": metrics.makespan,
+        "sum_flow": metrics.sum_flow,
+        "max_flow": metrics.max_flow,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Campaign driver
+# ---------------------------------------------------------------------------
 def run_heterogeneity_sweep(
     dimension: str = "both",
     factors: Sequence[float] = (1.0, 2.0, 4.0, 8.0, 16.0),
@@ -85,6 +162,8 @@ def run_heterogeneity_sweep(
     heuristics: Sequence[str] = tuple(PAPER_HEURISTICS),
     reference: str = "SRPT",
     rng: RngLike = None,
+    workers: int = 1,
+    cache: Optional[CampaignCache] = None,
 ) -> HeterogeneitySweepResult:
     """Measure the heuristic spread as the platform heterogeneity grows.
 
@@ -95,24 +174,34 @@ def run_heterogeneity_sweep(
         parameter is spread out.
     factors:
         Max/min heterogeneity ratios to sweep (1.0 = fully homogeneous).
+    workers / cache:
+        Campaign execution knobs, see :func:`repro.campaigns.runner.run_campaign`.
     """
     if dimension not in ("communication", "computation", "both"):
         raise ExperimentError(f"unknown sweep dimension {dimension!r}")
     if reference not in heuristics:
         raise ExperimentError("the reference heuristic must be part of the sweep")
-    generator = as_rng(rng)
-    tasks = all_at_zero(n_tasks)
+    root_seed = resolve_root_seed(rng)
+    cells = sweep_grid(
+        dimension, factors, n_workers, n_tasks, n_platforms, heuristics, root_seed
+    )
+    campaign = run_campaign(
+        cells,
+        workers=workers,
+        cache=cache,
+        group_key=lambda cell: cell.param("scheduler"),
+    )
 
+    n_heuristics = len(heuristics)
     points: List[SweepPoint] = []
-    for factor in factors:
+    for factor_index, factor in enumerate(factors):
         per_platform: List[Dict[str, Dict[str, float]]] = []
-        for _ in range(n_platforms):
-            comm_factor = factor if dimension in ("communication", "both") else 1.0
-            comp_factor = factor if dimension in ("computation", "both") else 1.0
-            comm = _spread(_BASE_COMM, comm_factor, n_workers, generator)
-            comp = _spread(_BASE_COMP, comp_factor, n_workers, generator)
-            platform = Platform.from_times(comm, comp)
-            metrics = run_heuristics_on_platform(platform, tasks, heuristics)
+        for platform_index in range(n_platforms):
+            base = (factor_index * n_platforms + platform_index) * n_heuristics
+            metrics = {
+                name: campaign.metrics[base + offset]
+                for offset, name in enumerate(heuristics)
+            }
             per_platform.append(normalise_to_reference(metrics, reference))
         mean_normalised: Dict[str, Dict[str, float]] = {}
         for name in heuristics:

@@ -17,16 +17,19 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from ..campaigns.cache import CampaignCache
+from ..campaigns.grid import CampaignCell
+from ..campaigns.runner import run_campaign
 from ..core.metrics import Objective
 from ..core.platform import PlatformKind
 from ..theory.bounds import TABLE_1
 from ..theory.verification import (
     DEFAULT_VERIFICATION_HEURISTICS,
-    all_certificates,
+    certificate_for,
     verify_heuristics_against_adversaries,
 )
 
-__all__ = ["Table1Row", "Table1Result", "run_table1"]
+__all__ = ["Table1Row", "Table1Result", "table1_grid", "run_table1_cell", "run_table1"]
 
 _KIND_BY_THEOREM: Dict[int, PlatformKind] = {
     1: PlatformKind.COMMUNICATION_HOMOGENEOUS,
@@ -80,41 +83,84 @@ class Table1Result:
         return {(row.platform_kind, row.objective): row for row in self.rows}
 
 
+# ---------------------------------------------------------------------------
+# Campaign grid declaration + cell runner
+# ---------------------------------------------------------------------------
+def table1_grid(
+    include_heuristics: bool,
+    heuristics: Sequence[str],
+) -> List[CampaignCell]:
+    """One cell per theorem; the games are deterministic, so no seed."""
+    cells: List[CampaignCell] = []
+    for theorem in sorted(_KIND_BY_THEOREM):
+        cells.append(
+            CampaignCell.make(
+                "table1",
+                len(cells),
+                theorem=theorem,
+                include_heuristics=include_heuristics,
+                heuristics=tuple(heuristics) if include_heuristics else (),
+            )
+        )
+    return cells
+
+
+def run_table1_cell(cell: CampaignCell) -> Dict[str, object]:
+    """Evaluate one theorem's adversary game (and optionally its heuristics)."""
+    theorem = cell.param("theorem")
+    certificate = certificate_for(theorem)
+    metrics: Dict[str, object] = {
+        "objective": certificate.objective.value,
+        "game_value": certificate.value,
+        "best_heuristic_ratio": None,
+        "best_heuristic": None,
+    }
+    if cell.param("include_heuristics"):
+        outcomes = verify_heuristics_against_adversaries(
+            heuristics=tuple(cell.param("heuristics")), theorems=[theorem]
+        )
+        best = min(outcomes, key=lambda outcome: outcome.ratio)
+        metrics["best_heuristic_ratio"] = best.ratio
+        metrics["best_heuristic"] = best.scheduler_name
+    return metrics
+
+
+# ---------------------------------------------------------------------------
+# Campaign driver
+# ---------------------------------------------------------------------------
 def run_table1(
     include_heuristics: bool = False,
     heuristics: Sequence[str] = DEFAULT_VERIFICATION_HEURISTICS,
+    workers: int = 1,
+    cache: Optional[CampaignCache] = None,
 ) -> Table1Result:
     """Regenerate Table 1.
 
     ``include_heuristics=True`` additionally plays every reactive adversary
     against the implemented heuristics and reports the smallest ratio seen —
-    slower but a useful end-to-end check.
+    slower but a useful end-to-end check.  The nine theorem games are
+    independent campaign cells, so they parallelise and cache like any other
+    campaign.
     """
-    certificates = {result.theorem: result for result in all_certificates()}
-    best_ratio: Dict[int, tuple] = {}
-    if include_heuristics:
-        outcomes = verify_heuristics_against_adversaries(heuristics=heuristics)
-        for outcome in outcomes:
-            current = best_ratio.get(outcome.theorem)
-            if current is None or outcome.ratio < current[0]:
-                best_ratio[outcome.theorem] = (outcome.ratio, outcome.scheduler_name)
+    cells = table1_grid(include_heuristics, heuristics)
+    campaign = run_campaign(cells, workers=workers, cache=cache)
 
     rows: List[Table1Row] = []
-    for theorem in sorted(certificates):
-        certificate = certificates[theorem]
+    for cell, metrics in zip(campaign.cells, campaign.metrics):
+        theorem = cell.param("theorem")
         kind = _KIND_BY_THEOREM[theorem]
-        entry = TABLE_1[(kind, certificate.objective)]
-        ratio, name = best_ratio.get(theorem, (None, None))
+        objective = Objective(metrics["objective"])
+        entry = TABLE_1[(kind, objective)]
         rows.append(
             Table1Row(
                 theorem=theorem,
                 platform_kind=kind,
-                objective=certificate.objective,
+                objective=objective,
                 stated_bound=entry.value,
                 formula=entry.formula,
-                game_value=certificate.value,
-                best_heuristic_ratio=ratio,
-                best_heuristic=name,
+                game_value=metrics["game_value"],
+                best_heuristic_ratio=metrics["best_heuristic_ratio"],
+                best_heuristic=metrics["best_heuristic"],
             )
         )
     return Table1Result(rows=rows)

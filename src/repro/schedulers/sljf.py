@@ -37,7 +37,13 @@ finish earliest:
   links): placing a task on worker ``j`` costs ``b_j + p_j`` where ``b_j`` is
   the compute time already stacked on ``j`` in reverse time.  The resulting
   per-worker task counts balance ``n_j · p_j``, which is the optimal bag
-  partition on communication-homogeneous platforms.
+  partition on communication-homogeneous platforms.  The pure greedy pass
+  can leave a very slow worker without any task when the balanced load
+  stays below a single ``p_j``; on long horizons (``n >= 3m``) the plan
+  then *primes* every unused worker with one of the earliest tasks (see
+  below), because with serialised sends the first tasks flow through the
+  port anyway and an otherwise idle worker computing one of them can only
+  absorb load.
 * **SLJFWC** additionally serialises the reversed communications on the
   master port (reverse-time port pointer ``B``): placing a task on ``j``
   costs ``max(b_j + p_j, B) + c_j``, i.e. the reverse-time instant at which
@@ -117,7 +123,45 @@ def backward_plan(
         reversed_assignment.append(best_j)
 
     reversed_assignment.reverse()
-    return reversed_assignment
+    plan = reversed_assignment
+    if not with_communication and n_tasks >= 3 * m:
+        # Only long horizons are primed: with just a handful of tasks the
+        # greedy partition already is the makespan-optimal one, and forcing
+        # a very slow worker into it could dominate the whole schedule.
+        _prime_unused_workers(platform, plan)
+    return plan
+
+
+def _prime_unused_workers(platform: Platform, plan: List[int]) -> None:
+    """Give every worker the greedy pass skipped one of the earliest tasks.
+
+    The master's sends are serialised on the one port, so the first tasks of
+    a long run leave the master early no matter what; routing one of them to
+    an otherwise idle worker keeps the whole platform busy without delaying
+    any later send.  (SLJFWC keeps its right to skip prohibitively expensive
+    links, so only the communication-oblivious plan is primed.)
+
+    Each unused worker — slowest first, so the workers needing the longest
+    head start receive the earliest tasks — takes over the earliest planned
+    task of the currently most-loaded worker.  Donors always keep at least
+    one task; priming stops when no worker has two tasks to spare.
+    """
+    m = platform.n_workers
+    counts = [0] * m
+    for worker_id in plan:
+        counts[worker_id] += 1
+    unused = sorted(
+        (j for j in range(m) if counts[j] == 0),
+        key=lambda j: (-platform[j].p, j),
+    )
+    for j in unused:
+        donor = max(range(m), key=lambda k: (counts[k], -k))
+        if counts[donor] < 2:
+            break
+        position = plan.index(donor)
+        counts[donor] -= 1
+        plan[position] = j
+        counts[j] = 1
 
 
 class _PlannedScheduler(OnlineScheduler):

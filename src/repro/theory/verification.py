@@ -31,6 +31,7 @@ __all__ = [
     "EXACT_THEOREMS",
     "ASYMPTOTIC_THEOREMS",
     "CertificateCheck",
+    "certificate_for",
     "all_certificates",
     "verify_certificates",
     "all_adversaries",
@@ -104,6 +105,18 @@ class CertificateCheck:
     @property
     def relative_gap(self) -> float:
         return self.gap / self.stated_bound
+
+
+def certificate_for(theorem: int) -> GameResult:
+    """Evaluate one theorem's adversary game with its default parameters."""
+    try:
+        factory = _CERTIFICATE_FACTORIES[theorem]
+    except KeyError as exc:
+        raise KeyError(
+            f"no certificate for theorem {theorem}; "
+            f"available: {sorted(_CERTIFICATE_FACTORIES)}"
+        ) from exc
+    return factory()
 
 
 def all_certificates() -> List[GameResult]:

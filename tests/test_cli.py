@@ -31,6 +31,20 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["demo", "--scheduler", "NOPE"])
 
+    def test_campaign_options(self):
+        args = build_parser().parse_args(
+            ["campaign", "figure1", "--workers", "4", "--cache-dir", "/tmp/c",
+             "--platforms", "2", "--tasks", "50", "--panels", "1a"]
+        )
+        assert args.command == "campaign"
+        assert args.experiment == "figure1"
+        assert args.workers == 4
+        assert args.cache_dir == "/tmp/c"
+
+    def test_campaign_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "figure9"])
+
 
 class TestMain:
     def test_table1_command(self, capsys):
@@ -61,3 +75,21 @@ class TestMain:
     def test_demo_mismatched_platform_lists(self, capsys):
         code = main(["demo", "--comm", "1.0", "--comp", "1.0", "2.0"])
         assert code == 2
+
+    def test_campaign_figure1_parallel_matches_serial_and_caches(self, tmp_path, capsys):
+        base = [
+            "campaign", "figure1", "--platforms", "1", "--tasks", "30",
+            "--panels", "1a", "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(base + ["--workers", "1"]) == 0
+        serial_out = capsys.readouterr().out
+        # Same grid with 2 workers: the cache now serves every cell, and the
+        # report is byte-identical to the serial run.
+        assert main(base + ["--workers", "2"]) == 0
+        cached_out = capsys.readouterr().out
+        assert cached_out == serial_out
+        assert "Figure 1 panel" in serial_out
+
+    def test_campaign_table1(self, capsys):
+        assert main(["campaign", "table1"]) == 0
+        assert "communication-homogeneous" in capsys.readouterr().out
