@@ -7,7 +7,7 @@ simulated MPI cluster substrate and the experiment harness regenerating
 Figures 1 and 2.
 """
 
-from . import core, schedulers, theory
+from . import core, scenarios, schedulers, theory
 from .core import (
     Decision,
     Objective,
@@ -50,6 +50,7 @@ __all__ = [
     "identical_tasks",
     "makespan",
     "max_flow",
+    "scenarios",
     "schedulers",
     "simulate",
     "sum_flow",

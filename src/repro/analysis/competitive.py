@@ -47,13 +47,16 @@ class RatioSample:
 
     @property
     def worst(self) -> float:
+        """Largest observed ratio."""
         return float(max(self.ratios))
 
     @property
     def mean(self) -> float:
+        """Arithmetic mean of the observed ratios."""
         return float(np.mean(self.ratios))
 
     def summary(self) -> SampleSummary:
+        """Descriptive statistics of the observed ratios."""
         return summarise(self.ratios)
 
 

@@ -38,6 +38,7 @@ class SampleSummary:
     geo_mean: float
 
     def as_dict(self) -> Dict[str, float]:
+        """The summary as a plain ``{name: value}`` mapping."""
         return {
             "n": float(self.n),
             "mean": self.mean,
@@ -70,6 +71,7 @@ class RunningStat:
         self._all_positive = True
 
     def add(self, value: float) -> None:
+        """Accumulate one finite value (Welford update)."""
         value = float(value)
         if not math.isfinite(value):
             raise ExperimentError(f"cannot accumulate non-finite value {value}")
@@ -97,6 +99,7 @@ class RunningStat:
         return math.exp(self._log_sum / self.n)
 
     def as_dict(self) -> Dict[str, float]:
+        """The running statistic as a plain ``{name: value}`` mapping."""
         if self.n == 0:
             raise ExperimentError("cannot summarise an empty running statistic")
         return {

@@ -1,9 +1,9 @@
 """Campaign grids — the declarative half of the campaign subsystem.
 
 A *campaign* is a grid of independent simulation *cells* — typically the
-cartesian product (platform × scheduler × seed × perturbation) behind one
-paper figure.  Each cell is a small, immutable, picklable description of one
-unit of work; the runner (:mod:`repro.campaigns.runner`) decides how the
+cartesian product (platform × scheduler × seed × perturbation × scenario)
+behind one paper figure.  Each cell is a small, immutable, picklable
+description of one unit of work; the runner (:mod:`repro.campaigns.runner`) decides how the
 cells execute (serially, across processes, or straight from the on-disk
 cache), while the experiment modules only *declare* which cells they need and
 how to aggregate the per-cell metrics.
@@ -15,7 +15,10 @@ Two properties make the fan-out safe:
   seed and the cell's coordinates, so a cell's randomness never depends on
   which worker computes it, in which order, or whether sibling cells were
   served from the cache.  Parallel and serial campaigns are therefore
-  bit-identical.
+  bit-identical.  Axes whose values must be shared across cells (the
+  random platform of a platform index, a scenario's releases and platform
+  timeline) are re-derived inside each cell from coordinates that exclude
+  the varying parameter.
 * **Content-addressed identity** — :meth:`CampaignCell.cache_key` hashes the
   cell's full configuration (but *not* its position in the grid), so the
   result cache recognises a cell across campaigns that enumerate their grids

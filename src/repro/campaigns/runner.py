@@ -62,6 +62,7 @@ class StreamingAggregator:
         self._stats: Dict[str, Dict[str, RunningStat]] = {}
 
     def add(self, cell: CampaignCell, metrics: Dict[str, Any]) -> None:
+        """Buffer one cell's metrics; release to the accumulators in grid order."""
         if cell.index in self._pending or cell.index < self._cursor:
             raise CampaignError(f"cell index {cell.index} aggregated twice")
         self._pending[cell.index] = (cell, metrics)
@@ -78,6 +79,7 @@ class StreamingAggregator:
 
     @property
     def complete(self) -> bool:
+        """True once every cell of the grid has been aggregated."""
         return self._cursor == self._n_cells and not self._pending
 
     def summaries(self) -> Dict[str, Dict[str, Dict[str, float]]]:

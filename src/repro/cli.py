@@ -11,6 +11,9 @@ regenerates the paper's tables and figures from a terminal:
   over N processes, ``--cache-dir`` caches per-cell results on disk so a
   re-run only simulates what changed.  The report on stdout is
   byte-identical for any worker count; execution statistics go to stderr.
+* ``scenario`` — list the registered dynamic-platform scenarios, or run
+  one on a small platform and compare the seven heuristics under it (every
+  schedule is re-checked by ``Schedule.validate``).
 * ``demo`` — a single small run with an ASCII Gantt chart, useful as a
   smoke test of the engine and of one scheduler.
 """
@@ -23,6 +26,7 @@ from typing import List, Optional
 
 from .campaigns.cache import CampaignCache
 from .core.engine import simulate
+from .exceptions import ScenarioError
 from .core.metrics import evaluate
 from .core.platform import Platform
 from .core.trace import render_ascii_gantt
@@ -37,7 +41,8 @@ from .experiments.reporting import (
 )
 from .experiments.sweep import run_heterogeneity_sweep
 from .experiments.table1 import run_table1
-from .schedulers.base import available_schedulers, create_scheduler
+from .scenarios import available_scenarios, create_scenario
+from .schedulers.base import PAPER_HEURISTICS, available_schedulers, create_scheduler
 from .workloads.release import all_at_zero
 
 __all__ = ["build_parser", "main"]
@@ -83,6 +88,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PANEL",
         help="subset of panels to run (1a 1b 1c 1d)",
+    )
+    figure1.add_argument(
+        "--scenario",
+        default="static",
+        choices=available_scenarios(),
+        help="dynamic-platform scenario applied to every run",
     )
 
     figure2 = subparsers.add_parser("figure2", help="regenerate Figure 2")
@@ -130,6 +141,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="figure1 only: drive the cells through the simulated MPI cluster",
     )
     campaign.add_argument(
+        "--scenario", default="static", choices=available_scenarios(),
+        help="figure1 only: dynamic-platform scenario grid axis",
+    )
+    campaign.add_argument(
         "--amplitude", type=float, default=0.10,
         help="figure2 only: task-size perturbation amplitude",
     )
@@ -149,6 +164,41 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--heuristics", action="store_true",
         help="table1 only: also play every heuristic against every adversary",
+    )
+
+    scenario = subparsers.add_parser(
+        "scenario",
+        help="list dynamic-platform scenarios or run the heuristics under one",
+        description=(
+            "Without a name (or with --list), print the registered scenarios.  "
+            "With a name, instantiate the scenario on a small platform, run "
+            "the selected scheduler(s) under it, validate every schedule "
+            "against the scenario timeline, and print the platform events "
+            "and the resulting metrics."
+        ),
+    )
+    scenario.add_argument(
+        "name",
+        nargs="?",
+        default=None,
+        help="scenario to run (omit to list)",
+    )
+    scenario.add_argument(
+        "--list", action="store_true", help="list registered scenarios and exit"
+    )
+    scenario.add_argument(
+        "--scheduler",
+        default="all",
+        choices=["all"] + available_schedulers(),
+        help="scheduler to run under the scenario (default: the seven paper heuristics)",
+    )
+    scenario.add_argument("--tasks", type=int, default=200, help="tasks per run")
+    scenario.add_argument("--seed", type=int, default=2006)
+    scenario.add_argument(
+        "--comm", type=float, nargs="+", default=[0.2, 0.5, 1.0], help="c_j per worker"
+    )
+    scenario.add_argument(
+        "--comp", type=float, nargs="+", default=[1.0, 2.0, 4.0], help="p_j per worker"
     )
 
     demo = subparsers.add_parser("demo", help="run one scheduler and print a Gantt chart")
@@ -175,6 +225,7 @@ def _cmd_figure1(args: argparse.Namespace) -> int:
         n_tasks=args.tasks,
         seed=args.seed,
         use_cluster=args.cluster,
+        scenario=args.scenario,
     )
     result = run_figure1(config, panels=args.panels)
     print(format_figure1(result))
@@ -201,6 +252,7 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             n_tasks=args.tasks,
             seed=args.seed,
             use_cluster=args.cluster,
+            scenario=args.scenario,
         )
         result = run_figure1(config, panels=args.panels, workers=args.workers, cache=cache)
         report = format_figure1(result)
@@ -244,6 +296,62 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    if args.list or args.name is None:
+        print(f"{'scenario':<18} description")
+        print("-" * 78)
+        for name in available_scenarios():
+            print(f"{name:<18} {create_scenario(name).description}")
+        return 0
+
+    try:
+        scenario = create_scenario(args.name)
+    except ScenarioError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if len(args.comm) != len(args.comp):
+        print("error: --comm and --comp must have the same length", file=sys.stderr)
+        return 2
+    platform = Platform.from_times(args.comm, args.comp)
+    instance = scenario.build(platform, args.tasks, rng=args.seed)
+
+    print(f"scenario : {scenario.name} — {scenario.description}")
+    print(f"platform : {platform!r}")
+    print(f"horizon  : {scenario.horizon(platform, args.tasks):.3f}")
+    releases = instance.tasks.releases
+    print(
+        f"releases : {len(releases)} task(s) over "
+        f"[{min(releases):.3f}, {max(releases):.3f}]"
+    )
+    if instance.timeline.is_trivial:
+        print("timeline : static (no platform events)")
+    else:
+        print(f"timeline : {len(instance.timeline)} platform event(s)")
+        for line in instance.timeline.describe():
+            print(f"  {line}")
+    print()
+
+    names = list(PAPER_HEURISTICS) if args.scheduler == "all" else [args.scheduler]
+    header = f"{'heuristic':<10}{'makespan':>12}{'sum-flow':>12}{'max-flow':>12}"
+    print(header)
+    print("-" * len(header))
+    for name in names:
+        schedule = simulate(
+            create_scheduler(name),
+            platform,
+            instance.tasks,
+            expose_task_count=True,
+            timeline=instance.timeline,
+        )
+        schedule.validate()
+        metrics = evaluate(schedule)
+        print(
+            f"{name:<10}{metrics.makespan:>12.3f}"
+            f"{metrics.sum_flow:>12.3f}{metrics.max_flow:>12.3f}"
+        )
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     if len(args.comm) != len(args.comp):
         print("error: --comm and --comp must have the same length", file=sys.stderr)
@@ -272,6 +380,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figure1": _cmd_figure1,
         "figure2": _cmd_figure2,
         "campaign": _cmd_campaign,
+        "scenario": _cmd_scenario,
         "demo": _cmd_demo,
     }
     return handlers[args.command](args)

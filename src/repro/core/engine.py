@@ -34,6 +34,31 @@ returns a :class:`Decision`:
 
 Returning ``wait`` while no future event exists raises
 :class:`~repro.exceptions.SchedulingStalledError` instead of hanging.
+
+Dynamic platforms (scenario timelines)
+--------------------------------------
+The engine optionally takes a :class:`~repro.scenarios.events.
+PlatformTimeline` describing how the platform changes during the run (worker
+slowdown, downtime, recovery, elastic join).  Each timeline event is queued
+as a ``PLATFORM_EVENT`` and applied at the existing completions-first
+tie-break (after same-time completions, before same-time releases).  The
+re-pricing contract is:
+
+* work **started** at time ``t`` is priced with the speeds in effect after
+  every timeline event with ``time <= t`` — the engine asks the timeline
+  directly, and :meth:`Schedule.validate` re-checks with the very same
+  expressions;
+* work **in flight** when an event fires keeps its original duration;
+* a worker that is unavailable does not *start* computations (queued tasks
+  wait for the matching ``WorkerUp``/``WorkerJoin``); the master may still
+  send to it;
+* :attr:`WorkerView.ready_time` becomes an *estimate* under the
+  rates-persist assumption (current speeds last forever, unavailable
+  workers resume immediately) — it is re-priced at every platform event.
+
+Schedulers need no changes: they keep seeing ``c``/``p`` on each
+:class:`WorkerView`, which now carry the *effective* values at the decision
+point.
 """
 
 from __future__ import annotations
@@ -54,6 +79,7 @@ from .schedule import Schedule, TaskRecord
 from .task import Task, TaskSet
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..scenarios.events import PlatformTimeline
     from ..schedulers.base import OnlineScheduler
 
 __all__ = [
@@ -101,6 +127,7 @@ class Decision:
 
     @property
     def is_assignment(self) -> bool:
+        """True when the decision starts a send."""
         return self.kind == self.ASSIGN
 
 
@@ -112,8 +139,11 @@ class WorkerView:
     """What a scheduler may know about one worker at a decision point.
 
     All quantities are computable by a real on-line master: they only involve
-    the worker's static parameters and the tasks the master itself already
-    assigned to it.
+    the worker's parameters *as currently observed* and the tasks the master
+    itself already assigned to it.  On dynamic platforms ``c`` and ``p`` are
+    the effective values at the decision point (the base times divided by
+    the current speed multipliers) and ``ready_time`` is an estimate under
+    the rates-persist assumption.
     """
 
     worker_id: int
@@ -121,13 +151,17 @@ class WorkerView:
     p: float
     #: Time at which the worker will have finished every task already
     #: assigned to it (including tasks still being sent).  Equals ``now`` or
-    #: earlier when the worker is idle with nothing in flight.
+    #: earlier when the worker is idle with nothing in flight.  Exact on
+    #: static platforms; a rates-persist estimate on dynamic ones.
     ready_time: float
     #: Number of assigned-but-not-yet-completed tasks (in flight + queued +
     #: the one currently computing).
     backlog: int
     #: Number of tasks already completed by this worker.
     completed: int
+    #: False while the worker is down (or has not joined the platform yet);
+    #: an unavailable worker accepts sends but does not start computations.
+    available: bool = True
 
     @property
     def is_free(self) -> bool:
@@ -170,6 +204,7 @@ class SchedulerView:
     n_total: Optional[int] = None
 
     def worker(self, worker_id: int) -> WorkerView:
+        """The view of one worker, by id."""
         return self.workers[worker_id]
 
     @property
@@ -190,6 +225,7 @@ class SchedulerView:
 class _WorkerState:
     worker: Worker
     #: exact time at which all currently assigned work will be finished
+    #: (rates-persist estimate on dynamic platforms)
     ready_time: float = 0.0
     #: tasks assigned (in flight, queued or computing) but not completed
     backlog: int = 0
@@ -198,9 +234,24 @@ class _WorkerState:
     queue: List[Tuple[int, float]] = field(default_factory=list)
     #: (task_id, finish_time) of the task currently computing, if any
     computing: Optional[Tuple[int, float]] = None
+    #: (task_id, send_end) of the task currently being sent to this worker,
+    #: if any (at most one globally under the one-port model); used by the
+    #: platform-event re-pricing pass
+    inflight: Optional[Tuple[int, float]] = None
+    #: effective unit communication/computation times shown to schedulers
+    #: (equal to the worker's base c/p on static platforms; updated at every
+    #: platform event on dynamic ones)
+    eff_c: float = 0.0
+    eff_p: float = 0.0
+    #: False while the worker is down or has not joined yet
+    available: bool = True
     #: memoised view for busy workers: (ready_time, backlog, completed) key
     _view_key: Optional[Tuple[float, int, int]] = None
     _view_cache: Optional[WorkerView] = None
+
+    def __post_init__(self) -> None:
+        self.eff_c = self.worker.c
+        self.eff_p = self.worker.p
 
     def view(self, now: float) -> WorkerView:
         if self.backlog and self.ready_time >= now:
@@ -208,27 +259,31 @@ class _WorkerState:
             # same frozen WorkerView can be handed out until the next state
             # change — the engine consults the scheduler at every decision
             # point, and rebuilding m views each time dominated the hot path.
+            # Platform events invalidate the key, so effective speeds and
+            # availability are never served stale.
             key = (self.ready_time, self.backlog, self.completed)
             if key == self._view_key:
                 return self._view_cache  # type: ignore[return-value]
             view = WorkerView(
                 worker_id=self.worker.worker_id,
-                c=self.worker.c,
-                p=self.worker.p,
+                c=self.eff_c,
+                p=self.eff_p,
                 ready_time=self.ready_time,
                 backlog=self.backlog,
                 completed=self.completed,
+                available=self.available,
             )
             self._view_key = key
             self._view_cache = view
             return view
         return WorkerView(
             worker_id=self.worker.worker_id,
-            c=self.worker.c,
-            p=self.worker.p,
+            c=self.eff_c,
+            p=self.eff_p,
             ready_time=max(self.ready_time, now) if self.backlog else now,
             backlog=self.backlog,
             completed=self.completed,
+            available=self.available,
         )
 
 
@@ -263,6 +318,11 @@ class OnePortEngine:
     max_events:
         Safety valve against run-away schedulers; the default is generous
         (every task generates exactly three model events plus wake-ups).
+    timeline:
+        Optional :class:`~repro.scenarios.events.PlatformTimeline` making
+        the platform dynamic (see the module docstring for the re-pricing
+        contract).  A trivial (event-less) timeline is equivalent to
+        ``None`` and takes the exact static fast path.
     """
 
     def __init__(
@@ -271,12 +331,24 @@ class OnePortEngine:
         tasks: TaskSet,
         expose_task_count: bool = False,
         max_events: Optional[int] = None,
+        timeline: Optional["PlatformTimeline"] = None,
     ) -> None:
+        if timeline is not None and timeline.is_trivial:
+            timeline = None
+        if timeline is not None and timeline.n_workers != len(platform):
+            raise SchedulingError(
+                f"timeline was compiled for {timeline.n_workers} worker(s) "
+                f"but the platform has {len(platform)}"
+            )
         self.platform = platform
         self.tasks = tasks
         self.expose_task_count = expose_task_count
+        self._timeline = timeline
+        n_platform_events = len(timeline.events) if timeline is not None else 0
         self.max_events = (
-            max_events if max_events is not None else 100 * max(len(tasks), 1) + 1000
+            max_events
+            if max_events is not None
+            else 100 * max(len(tasks), 1) + 1000 + n_platform_events
         )
 
         self.now = 0.0
@@ -291,12 +363,38 @@ class OnePortEngine:
         self._n_completed = 0
         self._n_assigned = 0
 
+        if timeline is not None:
+            for state in self._workers:
+                worker_id = state.worker.worker_id
+                state.available = timeline.available(worker_id, 0.0)
+                state.eff_c = timeline.effective_comm_time(state.worker, 1.0, 0.0)
+                state.eff_p = timeline.effective_comp_time(state.worker, 1.0, 0.0)
+            for index, event in enumerate(timeline.events):
+                self._events.push(
+                    event.time,
+                    EventKind.PLATFORM_EVENT,
+                    task_id=index,
+                    worker_id=event.worker_id,
+                )
+
         for task in tasks:
             self._events.push(task.release, EventKind.TASK_RELEASE, task_id=task.task_id)
 
     # -- views ---------------------------------------------------------------
     def view(self) -> SchedulerView:
-        """Build the immutable snapshot handed to the scheduler."""
+        """Build the immutable snapshot handed to the scheduler.
+
+        On dynamic platforms the per-worker speeds/availability are synced
+        from the timeline first: a consultation can fall inside an exact
+        timestamp tie, after a same-time completion but before the queued
+        ``PLATFORM_EVENT`` entry pops, and the scheduler must still see the
+        state its assignment would be priced with (timeline-inclusive at
+        ``now``).
+        """
+        if self._timeline is not None:
+            for state in self._workers:
+                if self._sync_worker_state(state):
+                    self._reprice_worker(state)
         return SchedulerView(
             now=self.now,
             pending=tuple(self._pending),
@@ -350,6 +448,8 @@ class OnePortEngine:
                 self._on_send_complete(event.task_id, event.worker_id)
             elif event.kind == EventKind.COMPUTE_COMPLETE:
                 self._on_compute_complete(event.task_id, event.worker_id)
+            elif event.kind == EventKind.PLATFORM_EVENT:
+                self._on_platform_event(event.task_id)
             elif event.kind == EventKind.WAKEUP:
                 pass  # its only purpose is to trigger a new consultation
             else:  # pragma: no cover - exhaustive enum
@@ -367,7 +467,7 @@ class OnePortEngine:
             )
             for r in self._records.values()
         ]
-        return Schedule(self.platform, self.tasks, records)
+        return Schedule(self.platform, self.tasks, records, timeline=self._timeline)
 
     # -- scheduler consultation ----------------------------------------------
     def _maybe_consult(self, scheduler: "OnlineScheduler") -> None:
@@ -399,6 +499,82 @@ class OnePortEngine:
             self._start_send(decision.task_id, decision.worker_id)
             # After an assignment the port is busy, so the loop exits naturally.
 
+    # -- dynamic-platform pricing ----------------------------------------------
+    # Work started at time `now` is priced through the timeline (inclusive
+    # lookup at `now`), never through cached per-worker state: during an
+    # exact timestamp tie the triggering completion may be processed before
+    # the PLATFORM_EVENT entry pops, and the timeline is the only source
+    # that is already consistent.  Schedule.validate() uses the very same
+    # expressions, so engine and validator can never disagree.
+    def _comm_duration(self, worker: Worker, task: Task) -> float:
+        if self._timeline is None:
+            return worker.comm_time(task.comm_factor)
+        return self._timeline.effective_comm_time(worker, task.comm_factor, self.now)
+
+    def _comp_duration(self, worker: Worker, task: Task) -> float:
+        if self._timeline is None:
+            return worker.comp_time(task.comp_factor)
+        return self._timeline.effective_comp_time(worker, task.comp_factor, self.now)
+
+    def _worker_available(self, worker_id: int) -> bool:
+        if self._timeline is None:
+            return True
+        return self._timeline.available(worker_id, self.now)
+
+    def _reprice_worker(self, state: _WorkerState) -> None:
+        """Recompute a worker's ready-time estimate after a platform event.
+
+        The estimate assumes current rates persist and an unavailable worker
+        resumes immediately; the in-progress computation keeps its original
+        finish time (in-flight work is never re-priced).
+        """
+        if state.backlog == 0:
+            state.ready_time = self.now
+            return
+        t = state.computing[1] if state.computing is not None else self.now
+        for task_id, _arrival in state.queue:
+            t += self._comp_duration(state.worker, self.tasks.by_id(task_id))
+        if state.inflight is not None:
+            task_id, send_end = state.inflight
+            t = max(t, send_end) + self._comp_duration(
+                state.worker, self.tasks.by_id(task_id)
+            )
+        state.ready_time = t
+
+    def _sync_worker_state(self, state: _WorkerState) -> bool:
+        """Pull a worker's speeds/availability from the timeline at ``now``.
+
+        Inclusive lookup at ``now`` lands on the state after *all* events
+        dated ``now``, so several same-instant events converge in one step
+        (later applications are no-ops).  Returns True when anything
+        changed (the memoised view is invalidated in that case).
+        """
+        timeline = self._timeline
+        worker_id = state.worker.worker_id
+        available = timeline.available(worker_id, self.now)
+        eff_c = timeline.effective_comm_time(state.worker, 1.0, self.now)
+        eff_p = timeline.effective_comp_time(state.worker, 1.0, self.now)
+        if (
+            available == state.available
+            and eff_c == state.eff_c
+            and eff_p == state.eff_p
+        ):
+            return False
+        state.available = available
+        state.eff_c = eff_c
+        state.eff_p = eff_p
+        state._view_key = None
+        return True
+
+    def _on_platform_event(self, index: int) -> None:
+        """Apply one timeline event: sync speeds/availability, re-price."""
+        event = self._timeline.events[index]
+        state = self._workers[event.worker_id]
+        if self._sync_worker_state(state):
+            self._reprice_worker(state)
+        if state.available and state.computing is None and state.queue:
+            self._start_next_computation(event.worker_id)
+
     # -- event handlers --------------------------------------------------------
     def _on_release(self, task_id: int) -> None:
         task = self.tasks.by_id(task_id)
@@ -427,14 +603,17 @@ class OnePortEngine:
         worker = worker_state.worker
 
         send_start = self.now
-        send_end = send_start + worker.comm_time(task.comm_factor)
+        send_end = send_start + self._comm_duration(worker, task)
         self.channel_free_at = send_end
 
-        # exact incremental ready-time update (FIFO execution on the worker)
+        # exact incremental ready-time update (FIFO execution on the worker);
+        # on dynamic platforms this prices the future computation at today's
+        # rate — the estimate is corrected at the next platform event
         worker_state.ready_time = (
-            max(worker_state.ready_time, send_end) + worker.comp_time(task.comp_factor)
+            max(worker_state.ready_time, send_end) + self._comp_duration(worker, task)
         )
         worker_state.backlog += 1
+        worker_state.inflight = (task_id, send_end)
 
         del pending[pending_index]
         self._records[task_id] = _PartialRecord(
@@ -449,6 +628,7 @@ class OnePortEngine:
 
     def _on_send_complete(self, task_id: int, worker_id: int) -> None:
         state = self._workers[worker_id]
+        state.inflight = None
         state.queue.append((task_id, self.now))
         if state.computing is None:
             self._start_next_computation(worker_id)
@@ -457,10 +637,14 @@ class OnePortEngine:
         state = self._workers[worker_id]
         if state.computing is not None or not state.queue:
             return
+        if not self._worker_available(worker_id):
+            # Downed (or not-yet-joined) workers hold their queue; the
+            # matching WorkerUp/WorkerJoin platform event re-kicks them.
+            return
         task_id, _arrival = state.queue.pop(0)
         task = self.tasks.by_id(task_id)
         start = self.now
-        finish = start + state.worker.comp_time(task.comp_factor)
+        finish = start + self._comp_duration(state.worker, task)
         state.computing = (task_id, finish)
         record = self._records[task_id]
         record.compute_start = start
@@ -487,7 +671,10 @@ def simulate(
     platform: Platform,
     tasks: TaskSet,
     expose_task_count: bool = False,
+    timeline: Optional["PlatformTimeline"] = None,
 ) -> Schedule:
     """Convenience wrapper: build an engine, run ``scheduler``, return the schedule."""
-    engine = OnePortEngine(platform, tasks, expose_task_count=expose_task_count)
+    engine = OnePortEngine(
+        platform, tasks, expose_task_count=expose_task_count, timeline=timeline
+    )
     return engine.run(scheduler)

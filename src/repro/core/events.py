@@ -1,20 +1,27 @@
 """Discrete-event machinery for the one-port master-slave engine.
 
 The engine is event driven: simulated time jumps from decision point to
-decision point.  Only four event kinds exist in the model:
+decision point.  Only five event kinds exist in the model:
 
 * ``TASK_RELEASE`` — a task becomes known to the master;
 * ``SEND_COMPLETE`` — the master's port frees and the task arrives in the
   target worker's input queue;
 * ``COMPUTE_COMPLETE`` — a worker finishes executing a task;
+* ``PLATFORM_EVENT`` — the platform changes (worker speed change, downtime,
+  recovery or elastic join) according to a scenario's
+  :class:`~repro.scenarios.events.PlatformTimeline`;
 * ``WAKEUP`` — a scheduler explicitly asked to be re-consulted at a given
   time (used by deliberately-delaying strategies such as the adversary
   branches of the lower-bound proofs).
 
 Events are totally ordered by ``(time, priority, sequence)``; the priority
 encodes the convention that at equal times the engine first learns about
-completions, then releases, then wake-ups, so that a scheduler consulted at
-time *t* sees every piece of information dated *t*.
+completions, then platform changes, then releases, then wake-ups, so that a
+scheduler consulted at time *t* sees every piece of information dated *t*.
+Processing completions before platform events is what guarantees that a
+platform event landing exactly on a ``SEND_COMPLETE``/``COMPUTE_COMPLETE``
+timestamp can never alter in-flight durations (they were fixed when the
+send/computation started).
 """
 
 from __future__ import annotations
@@ -36,8 +43,9 @@ class EventKind(enum.IntEnum):
 
     COMPUTE_COMPLETE = 0
     SEND_COMPLETE = 1
-    TASK_RELEASE = 2
-    WAKEUP = 3
+    PLATFORM_EVENT = 2
+    TASK_RELEASE = 3
+    WAKEUP = 4
 
 
 @dataclass(frozen=True, order=True, slots=True)

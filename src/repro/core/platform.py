@@ -175,18 +175,22 @@ class Platform:
     # -- accessors ----------------------------------------------------------
     @property
     def workers(self) -> Tuple[Worker, ...]:
+        """The workers in id order."""
         return tuple(self._workers)
 
     @property
     def n_workers(self) -> int:
+        """Number of slave workers ``m``."""
         return len(self._workers)
 
     @property
     def comm_times(self) -> List[float]:
+        """``c_j`` per worker, in id order."""
         return [w.c for w in self._workers]
 
     @property
     def comp_times(self) -> List[float]:
+        """``p_j`` per worker, in id order."""
         return [w.p for w in self._workers]
 
     # -- classification -----------------------------------------------------

@@ -15,6 +15,15 @@ the model of Section 2 of the paper:
    earlier than the task's arrival, and lasts exactly ``p_j`` (times the
    task's computation factor).
 
+Dynamic platforms: when the schedule carries a
+:class:`~repro.scenarios.events.PlatformTimeline`, rules 3 and 4 price each
+send/computation at the speeds in effect **when it started** (the timeline's
+inclusive lookup — the exact expressions the engine itself prices with), and
+a fifth rule applies: no computation may *start* at an instant where its
+worker is unavailable (computations started earlier may run across an
+outage; sends to unavailable workers are legal, the data waits in the
+worker's queue).
+
 Having this independent checker lets the test-suite verify any scheduling
 policy — including the exhaustive off-line search — against the ground rules
 rather than against the engine's own bookkeeping.
@@ -23,11 +32,14 @@ rather than against the engine's own bookkeeping.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, TYPE_CHECKING
 
 from ..exceptions import InfeasibleScheduleError, SchedulingError
 from .platform import Platform
 from .task import Task, TaskSet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..scenarios.events import PlatformTimeline
 
 __all__ = ["TaskRecord", "Schedule"]
 
@@ -59,10 +71,12 @@ class TaskRecord:
 
     @property
     def comm_duration(self) -> float:
+        """Duration of the task's communication interval."""
         return self.send_end - self.send_start
 
     @property
     def comp_duration(self) -> float:
+        """Duration of the task's computation interval."""
         return self.compute_end - self.compute_start
 
     @property
@@ -73,16 +87,22 @@ class TaskRecord:
 
 class Schedule:
     """An immutable collection of :class:`TaskRecord` plus the originating
-    platform and task set."""
+    platform, task set, and (for dynamic platforms) the scenario timeline
+    the run was priced against."""
 
     def __init__(
         self,
         platform: Platform,
         tasks: TaskSet,
         records: Iterable[TaskRecord],
+        timeline: Optional["PlatformTimeline"] = None,
     ) -> None:
         self.platform = platform
         self.tasks = tasks
+        #: The platform timeline the schedule executed under, or ``None``
+        #: for the static model.  Trivial timelines are normalised away so
+        #: static scenarios validate through the classic path.
+        self.timeline = timeline if timeline is not None and len(timeline) else None
         self._records: List[TaskRecord] = sorted(
             records, key=lambda r: (r.send_start, r.task_id)
         )
@@ -113,6 +133,7 @@ class Schedule:
     # -- accessors ----------------------------------------------------------
     @property
     def records(self) -> Tuple[TaskRecord, ...]:
+        """All task records, ordered by send start time."""
         return tuple(self._records)
 
     @property
@@ -135,6 +156,7 @@ class Schedule:
         return counts
 
     def completion_times(self) -> Dict[int, float]:
+        """``{task_id: completion time}`` over every record."""
         return {r.task_id: r.compute_end for r in self._records}
 
     # -- feasibility --------------------------------------------------------
@@ -146,6 +168,7 @@ class Schedule:
             raise InfeasibleScheduleError(f"schedule is missing tasks {sorted(missing)}")
 
         # Per-task local constraints.
+        timeline = self.timeline
         for record in self._records:
             task = self.tasks.by_id(record.task_id)
             worker = self.platform[record.worker_id]
@@ -154,7 +177,14 @@ class Schedule:
                     f"task {task.task_id} sent at {record.send_start} before its "
                     f"release {task.release}"
                 )
-            expected_comm = worker.comm_time(task.comm_factor)
+            if timeline is None:
+                expected_comm = worker.comm_time(task.comm_factor)
+            else:
+                # Dynamic pricing: the speeds in effect when the send started
+                # (same inclusive-lookup expression the engine priced with).
+                expected_comm = timeline.effective_comm_time(
+                    worker, task.comm_factor, record.send_start
+                )
             if abs(record.comm_duration - expected_comm) > atol:
                 raise InfeasibleScheduleError(
                     f"task {task.task_id} communication lasts {record.comm_duration}, "
@@ -165,7 +195,18 @@ class Schedule:
                     f"task {task.task_id} starts computing at {record.compute_start} "
                     f"before its data arrives at {record.send_end}"
                 )
-            expected_comp = worker.comp_time(task.comp_factor)
+            if timeline is None:
+                expected_comp = worker.comp_time(task.comp_factor)
+            else:
+                expected_comp = timeline.effective_comp_time(
+                    worker, task.comp_factor, record.compute_start
+                )
+                if not timeline.available(record.worker_id, record.compute_start):
+                    raise InfeasibleScheduleError(
+                        f"task {task.task_id} starts computing at "
+                        f"{record.compute_start} while worker {worker.worker_id} "
+                        "is unavailable"
+                    )
             if abs(record.comp_duration - expected_comp) > atol:
                 raise InfeasibleScheduleError(
                     f"task {task.task_id} computation lasts {record.comp_duration}, "

@@ -124,20 +124,24 @@ class TaskSet:
 
     @property
     def task_ids(self) -> List[int]:
+        """Task identifiers in FIFO order."""
         return [t.task_id for t in self._tasks]
 
     @property
     def releases(self) -> List[float]:
+        """Release times in FIFO order."""
         return [t.release for t in self._tasks]
 
     @property
     def first_release(self) -> float:
+        """Release time of the earliest task."""
         if not self._tasks:
             raise TaskError("empty task set has no first release")
         return self._tasks[0].release
 
     @property
     def last_release(self) -> float:
+        """Release time of the latest task."""
         if not self._tasks:
             raise TaskError("empty task set has no last release")
         return self._tasks[-1].release

@@ -35,6 +35,7 @@ class GanttInterval:
 
     @property
     def duration(self) -> float:
+        """Length of the interval."""
         return self.end - self.start
 
 

@@ -55,3 +55,9 @@ class ExperimentError(ReproError):
 class CampaignError(ReproError):
     """Raised when a campaign grid, cache or runner is misused (unknown cell
     experiment, corrupt cache entry, invalid worker count, ...)."""
+
+
+class ScenarioError(ReproError):
+    """Raised when a scenario or platform timeline is invalid (unknown
+    scenario name, event targeting a non-existent worker, non-positive speed
+    multiplier, ...)."""

@@ -73,9 +73,24 @@ class CampaignConfig:
 
 @dataclass(frozen=True)
 class Figure1Config(CampaignConfig):
-    """Configuration of one Figure 1 diagram (one platform class)."""
+    """Configuration of one Figure 1 diagram (one platform class).
+
+    ``scenario`` selects a registered dynamic-platform scenario by name
+    (default ``"static"``, the paper's setup); see :mod:`repro.scenarios`.
+    The scenario becomes one more campaign grid axis: each cell carries it
+    in its cached identity and rebuilds the concrete scenario instance from
+    its own deterministic seed stream.
+    """
 
     kind: PlatformKind = PlatformKind.HETEROGENEOUS
+    scenario: str = "static"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        # Fail fast on unknown scenario names (raises ScenarioError).
+        from ..scenarios import create_scenario
+
+        create_scenario(self.scenario)
 
 
 @dataclass(frozen=True)

@@ -44,6 +44,7 @@ from ..core.engine import simulate
 from ..core.metrics import evaluate
 from ..core.platform import PlatformKind
 from ..exceptions import ExperimentError
+from ..scenarios import create_scenario
 from ..schedulers.base import create_scheduler
 from ..workloads.platforms import PlatformSpec, random_platform
 from ..workloads.release import all_at_zero
@@ -103,6 +104,7 @@ class Figure1Result:
     panels: Dict[str, PanelResult]
 
     def panel(self, name: str) -> PanelResult:
+        """The result of one named panel (e.g. ``"1b"``)."""
         try:
             return self.panels[name]
         except KeyError as exc:
@@ -134,7 +136,9 @@ def figure1_panel_grid(config: Figure1Config, root_seed: int) -> List[CampaignCe
     """The (platform × heuristic) grid of one Figure 1 diagram.
 
     Grid order is platform-major: all heuristics of platform 0, then all of
-    platform 1, ...  Aggregation relies on this order.
+    platform 1, ...  Aggregation relies on this order.  When the config
+    selects a non-static scenario, every cell additionally carries the
+    scenario name as a grid axis (part of its cached identity).
     """
     cells: List[CampaignCell] = []
     for platform_index in range(config.n_platforms):
@@ -147,6 +151,10 @@ def figure1_panel_grid(config: Figure1Config, root_seed: int) -> List[CampaignCe
                 seed=root_seed,
                 use_cluster=config.use_cluster,
             )
+            if config.scenario != "static":
+                # The scenario is part of the cell's cached identity; the
+                # default is omitted so pre-scenario caches stay valid.
+                params["scenario"] = config.scenario
             if not config.use_cluster:
                 # The cluster path derives its platform from the calibration
                 # protocol; the draw parameters would be dead weight in the
@@ -161,11 +169,13 @@ def figure1_panel_grid(config: Figure1Config, root_seed: int) -> List[CampaignCe
 
 
 def run_figure1_cell(cell: CampaignCell) -> Dict[str, float]:
-    """Execute one (platform, heuristic) simulation of Figure 1.
+    """Execute one (platform, heuristic, scenario) simulation of Figure 1.
 
     The platform is re-derived from ``(seed, kind, platform_index)`` only, so
     every heuristic cell of the same platform index sees the same platform no
-    matter which process runs it.
+    matter which process runs it.  Likewise the scenario instance (releases,
+    perturbations, platform timeline) is re-derived from coordinates that
+    exclude the scheduler, so every heuristic faces the identical condition.
     """
     kind = PlatformKind(cell.param("kind"))
     seed = cell.param("seed")
@@ -186,9 +196,21 @@ def run_figure1_cell(cell: CampaignCell) -> Dict[str, float]:
             comp_range=tuple(cell.param("comp_range")),
         )
         platform = random_platform(spec, rng)
-    tasks = all_at_zero(cell.param("n_tasks"))
+    n_tasks = cell.param("n_tasks")
+    scenario_name = cell.param("scenario", "static")
+    if scenario_name == "static":
+        tasks, timeline = all_at_zero(n_tasks), None
+    else:
+        scenario = create_scenario(scenario_name)
+        scenario_rng = cell_rng(
+            seed, "figure1/scenario", kind.value, platform_index, scenario_name
+        )
+        instance = scenario.build(platform, n_tasks, rng=scenario_rng)
+        tasks, timeline = instance.tasks, instance.timeline
     scheduler = create_scheduler(cell.param("scheduler"))
-    schedule = simulate(scheduler, platform, tasks, expose_task_count=True)
+    schedule = simulate(
+        scheduler, platform, tasks, expose_task_count=True, timeline=timeline
+    )
     metrics = evaluate(schedule)
     return {
         "makespan": metrics.makespan,

@@ -52,6 +52,7 @@ class Figure2Result:
     mean_ratios: Dict[str, Dict[str, float]]
 
     def bar(self, heuristic: str, metric: str) -> float:
+        """One bar height of the Figure 2 diagram."""
         try:
             return self.mean_ratios[heuristic][metric]
         except KeyError as exc:

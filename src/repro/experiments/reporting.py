@@ -48,11 +48,17 @@ def format_metric_table(
 
 
 def format_panel(panel: PanelResult, precision: int = 3) -> str:
-    """Render one Figure 1 diagram (normalised to the reference heuristic)."""
+    """Render one Figure 1 diagram (normalised to the reference heuristic).
+
+    Non-static scenarios are named in the title; the static default keeps
+    the historical (pre-scenario) title byte for byte.
+    """
+    scenario = getattr(panel.config, "scenario", "static")
+    scenario_note = "" if scenario == "static" else f", scenario {scenario}"
     title = (
         f"Figure 1 panel — {panel.kind} platforms "
         f"({panel.config.n_platforms} platforms x {panel.config.n_tasks} tasks, "
-        f"normalised to {panel.config.reference})"
+        f"normalised to {panel.config.reference}{scenario_note})"
     )
     table = format_metric_table(
         panel.mean_normalised,

@@ -60,10 +60,12 @@ class Table1Row:
 
     @property
     def gap(self) -> float:
+        """``stated_bound - game_value`` for this row."""
         return self.stated_bound - self.game_value
 
     @property
     def relative_gap(self) -> float:
+        """The gap as a fraction of the stated bound."""
         return self.gap / self.stated_bound
 
 
@@ -74,12 +76,14 @@ class Table1Result:
     rows: List[Table1Row]
 
     def row(self, theorem: int) -> Table1Row:
+        """The row certifying the given theorem number."""
         for row in self.rows:
             if row.theorem == theorem:
                 return row
         raise KeyError(f"no row for theorem {theorem}")
 
     def by_cell(self) -> Dict[tuple, Table1Row]:
+        """Rows keyed by ``(platform kind, objective)``."""
         return {(row.platform_kind, row.objective): row for row in self.rows}
 
 

@@ -81,6 +81,7 @@ class CalibrationResult:
 
     @property
     def max_relative_error(self) -> float:
+        """Worst relative calibration error across both dimensions."""
         errors = self.relative_error
         return max(errors["comm"] + errors["comp"])
 

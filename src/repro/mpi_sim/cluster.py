@@ -166,6 +166,7 @@ class SimulatedCluster:
         return Platform.from_times(comm, comp, names=names)
 
     def describe(self) -> Dict[str, object]:
+        """A dictionary summary for reports and experiment metadata."""
         return {
             "n_slaves": len(self),
             "switch": self.switch.describe(),

@@ -78,6 +78,7 @@ class EthernetSwitch:
         return link.latency + message_bytes / self.effective_bandwidth(slave_index)
 
     def describe(self) -> Dict[str, object]:
+        """A dictionary summary for reports and experiment metadata."""
         return {
             "switch_bandwidth": self.switch_bandwidth,
             "links": [

@@ -40,6 +40,7 @@ class ClusterRunResult:
 
     @property
     def platform(self) -> Platform:
+        """The calibrated platform the metrics were measured on."""
         return self.calibration.platform
 
 

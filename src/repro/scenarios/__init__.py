@@ -1,0 +1,46 @@
+"""repro.scenarios — dynamic-platform scenarios for robustness experiments.
+
+The paper's experiments assume a static platform and a bag of tasks released
+at time 0.  This subsystem lets a run deviate from that setup declaratively:
+a :class:`Scenario` bundles a platform timeline (timestamped
+:class:`PlatformEvent` objects — speed changes, downtime, elastic joins), a
+release process, and a task-size perturbation policy, and a string-keyed
+registry (mirroring the scheduler registry) makes scenarios addressable from
+campaign grids and the ``repro scenario`` CLI subcommand.
+
+Importing this package registers the built-in scenarios (``static``,
+``flash-crowd``, ``degrading-worker``, ``node-failure``, ``elastic-cluster``,
+``diurnal-load``, ``rolling-restart``, ``congested-uplink``).
+"""
+
+from .events import (
+    PlatformEvent,
+    PlatformTimeline,
+    SpeedChange,
+    WorkerDown,
+    WorkerJoin,
+    WorkerUp,
+)
+from .scenario import (
+    Scenario,
+    ScenarioInstance,
+    available_scenarios,
+    create_scenario,
+    register_scenario,
+)
+from .builtin import BUILTIN_SCENARIOS
+
+__all__ = [
+    "BUILTIN_SCENARIOS",
+    "PlatformEvent",
+    "PlatformTimeline",
+    "Scenario",
+    "ScenarioInstance",
+    "SpeedChange",
+    "WorkerDown",
+    "WorkerJoin",
+    "WorkerUp",
+    "available_scenarios",
+    "create_scenario",
+    "register_scenario",
+]

@@ -1,0 +1,182 @@
+"""The built-in named scenarios.
+
+Eight conditions spanning the three axes a :class:`~repro.scenarios.
+scenario.Scenario` can vary — platform timeline, release process, task-size
+perturbation.  Every scenario is *recoverable by construction*: any worker
+that goes down comes back up, and any worker that joins late eventually
+joins, so all seven paper heuristics complete every scenario (a heuristic
+that queues work on a temporarily-down worker simply waits it out; the
+tier-1 suite asserts this for the full heuristic x scenario product).
+
+Event times are fractions of the horizon ``H = n / steady_state_throughput``
+(see :meth:`Scenario.horizon`), so the same named scenario is meaningful on
+any platform size.  Scenarios with random releases draw from the instance
+rng only; platform timelines are deterministic functions of the platform.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from ..core.platform import Platform
+from ..core.task import TaskSet
+from ..workloads.release import inhomogeneous_poisson_releases, poisson_releases
+from .events import PlatformEvent, SpeedChange, WorkerDown, WorkerJoin, WorkerUp
+from .scenario import Scenario, register_scenario
+
+__all__ = ["BUILTIN_SCENARIOS"]
+
+
+# ---------------------------------------------------------------------------
+# Timelines
+# ---------------------------------------------------------------------------
+def _degrading_worker(platform: Platform, horizon: float) -> List[PlatformEvent]:
+    """The fastest worker loses compute speed in three steps."""
+    victim = platform.fastest_worker().worker_id
+    return [
+        SpeedChange(0.25 * horizon, victim, comp_speed=0.75),
+        SpeedChange(0.50 * horizon, victim, comp_speed=0.50),
+        SpeedChange(0.75 * horizon, victim, comp_speed=0.25),
+    ]
+
+
+def _node_failure(platform: Platform, horizon: float) -> List[PlatformEvent]:
+    """The fastest worker goes down mid-run and recovers before the end."""
+    victim = platform.fastest_worker().worker_id
+    return [
+        WorkerDown(0.25 * horizon, victim),
+        WorkerUp(0.60 * horizon, victim),
+    ]
+
+
+def _elastic_cluster(platform: Platform, horizon: float) -> List[PlatformEvent]:
+    """The second half of the workers join staggered over the first half.
+
+    With a single worker the scenario degenerates to the static platform
+    (there is nobody left to join late).
+    """
+    m = platform.n_workers
+    joiners = list(range((m + 1) // 2, m))
+    events: List[PlatformEvent] = []
+    for rank, worker_id in enumerate(joiners):
+        events.append(WorkerJoin((rank + 1) * 0.5 * horizon / (len(joiners) + 1), worker_id))
+    return events
+
+
+def _rolling_restart(platform: Platform, horizon: float) -> List[PlatformEvent]:
+    """Each worker in turn is taken down for a short staggered window."""
+    m = platform.n_workers
+    events: List[PlatformEvent] = []
+    window = 0.05 * horizon
+    for worker_id in range(m):
+        start = (0.10 + 0.70 * worker_id / m) * horizon
+        events.append(WorkerDown(start, worker_id))
+        events.append(WorkerUp(start + window, worker_id))
+    return events
+
+
+def _congested_uplink(platform: Platform, horizon: float) -> List[PlatformEvent]:
+    """All links slow to 40% for the middle third of the run."""
+    events: List[PlatformEvent] = []
+    for worker in platform:
+        events.append(SpeedChange(0.25 * horizon, worker.worker_id, comm_speed=0.4))
+        events.append(SpeedChange(0.60 * horizon, worker.worker_id, comm_speed=1.0))
+    return events
+
+
+# ---------------------------------------------------------------------------
+# Release processes
+# ---------------------------------------------------------------------------
+def _flash_crowd(
+    platform: Platform, n_tasks: int, horizon: float, rng: np.random.Generator
+) -> TaskSet:
+    """A quiet Poisson trickle with a 6x burst a third of the way in."""
+    base = 0.6 * platform.steady_state_throughput()
+    spike_start, spike_end = 0.30 * horizon, 0.45 * horizon
+
+    def rate(t: float) -> float:
+        return 6.0 * base if spike_start <= t < spike_end else base
+
+    return inhomogeneous_poisson_releases(
+        n_tasks, rate, max_rate=6.0 * base, rng=rng
+    )
+
+
+def _diurnal_load(
+    platform: Platform, n_tasks: int, horizon: float, rng: np.random.Generator
+) -> TaskSet:
+    """Sinusoidal arrival intensity (two "days" over the nominal horizon).
+
+    The inhomogeneous Poisson process is simulated by thinning, as in
+    Hohmann's IPPP package (arXiv:1901.10754).
+    """
+    mean = platform.steady_state_throughput()
+    period = max(0.5 * horizon, 1e-9)
+
+    def rate(t: float) -> float:
+        return mean * (0.75 + 0.5 * math.sin(2.0 * math.pi * t / period))
+
+    return inhomogeneous_poisson_releases(
+        n_tasks, rate, max_rate=1.25 * mean, rng=rng
+    )
+
+
+def _steady_poisson(
+    platform: Platform, n_tasks: int, horizon: float, rng: np.random.Generator
+) -> TaskSet:
+    """A homogeneous Poisson stream at the platform's sustainable rate."""
+    return poisson_releases(n_tasks, rate=platform.steady_state_throughput(), rng=rng)
+
+
+# ---------------------------------------------------------------------------
+# The registry entries
+# ---------------------------------------------------------------------------
+BUILTIN_SCENARIOS: List[Scenario] = [
+    Scenario(
+        name="static",
+        description="the paper's Section 4 setup: static platform, bag of tasks at t=0",
+    ),
+    Scenario(
+        name="flash-crowd",
+        description="quiet Poisson arrivals with a 6x release burst a third of the way in",
+        release=_flash_crowd,
+    ),
+    Scenario(
+        name="degrading-worker",
+        description="the fastest worker loses compute speed in steps (100% -> 25%)",
+        timeline=_degrading_worker,
+    ),
+    Scenario(
+        name="node-failure",
+        description="the fastest worker goes down at 0.25H and recovers at 0.60H",
+        timeline=_node_failure,
+    ),
+    Scenario(
+        name="elastic-cluster",
+        description="half of the workers join the platform staggered over the first half-run",
+        timeline=_elastic_cluster,
+    ),
+    Scenario(
+        name="diurnal-load",
+        description="sinusoidal arrival intensity (inhomogeneous Poisson by thinning)",
+        release=_diurnal_load,
+    ),
+    Scenario(
+        name="rolling-restart",
+        description="each worker in turn is down for a short staggered maintenance window",
+        timeline=_rolling_restart,
+    ),
+    Scenario(
+        name="congested-uplink",
+        description="all links at 40% speed for the middle third, Poisson arrivals, +/-10% sizes",
+        timeline=_congested_uplink,
+        release=_steady_poisson,
+        perturbation_amplitude=0.10,
+    ),
+]
+
+for _scenario in BUILTIN_SCENARIOS:
+    register_scenario(_scenario)

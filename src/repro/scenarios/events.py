@@ -1,0 +1,305 @@
+"""Platform events and the :class:`PlatformTimeline` the engine prices from.
+
+The paper's Section 4 experiments assume a *static* platform: every worker
+keeps its ``c_j``/``p_j`` for the whole run.  This module introduces the
+vocabulary for platforms that change *during* a run:
+
+* :class:`SpeedChange` — a worker's communication and/or computation rate
+  changes (maintenance, thermal throttling, co-located load, ...);
+* :class:`WorkerDown` — a worker stops starting new computations;
+* :class:`WorkerUp` — a downed worker resumes;
+* :class:`WorkerJoin` — a worker that was *not part of the platform yet*
+  becomes available (elastic clusters).  The platform object always carries
+  the full final worker set; a joining worker is simply unavailable on
+  ``[0, join_time)``.
+
+A :class:`PlatformTimeline` compiles a list of timestamped events into
+per-worker step functions that can be queried at any simulation time.  It is
+the **single pricing authority** shared by the engine and by
+:meth:`repro.core.schedule.Schedule.validate`: both sides ask the timeline
+for the effective communication/computation time of work started at time
+``t``, so the independent validator can never drift from the engine.
+
+Pricing rule (the "re-pricing contract")
+----------------------------------------
+* A send or computation that *starts* at time ``t`` is priced with the
+  speeds in effect **after** every event with ``time <= t`` (inclusive
+  lookup).
+* Work already in flight when an event fires keeps the duration it was
+  priced with at its start — events never stretch or shrink running
+  transfers or computations.
+* A computation may *start* only at an instant where its worker is
+  available; a computation that started before a :class:`WorkerDown` event
+  runs to completion across the outage.
+* The master may send to an unavailable worker (the data waits in the
+  worker's input queue); only computation is paused by downtime.
+
+Speeds are expressed as positive multipliers of the worker's *base* rate:
+``comm_speed=0.5`` makes sends to the worker take twice their base time,
+``comp_speed=2.0`` halves its computation time.  Multipliers are absolute
+(each :class:`SpeedChange` replaces the previous value, it does not
+compound), which keeps scenario timelines declarative and order-robust.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from ..core.platform import Worker
+from ..exceptions import ScenarioError
+
+__all__ = [
+    "PlatformEvent",
+    "SpeedChange",
+    "WorkerDown",
+    "WorkerUp",
+    "WorkerJoin",
+    "PlatformTimeline",
+]
+
+
+@dataclass(frozen=True)
+class PlatformEvent:
+    """Base class for timestamped platform changes.
+
+    Attributes
+    ----------
+    time:
+        Simulation time at which the event takes effect (finite, >= 0).
+    worker_id:
+        The worker the event applies to.
+    """
+
+    time: float
+    worker_id: int
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.time) or self.time < 0.0:
+            raise ScenarioError(
+                f"platform event time must be finite and >= 0, got {self.time}"
+            )
+        if self.worker_id < 0:
+            raise ScenarioError(
+                f"platform event worker_id must be non-negative, got {self.worker_id}"
+            )
+
+    def describe(self) -> str:
+        """One-line human-readable rendering (used by ``repro scenario``)."""
+        return f"t={self.time:g}: worker {self.worker_id} {type(self).__name__}"
+
+
+@dataclass(frozen=True)
+class SpeedChange(PlatformEvent):
+    """Set a worker's speed multipliers from :attr:`time` onward.
+
+    ``None`` leaves the corresponding dimension unchanged.  Multipliers are
+    relative to the worker's *base* ``c_j``/``p_j`` (not to the previous
+    multiplier): the effective unit communication time becomes
+    ``c_j / comm_speed``, the computation time ``p_j / comp_speed``.
+    """
+
+    comm_speed: Optional[float] = None
+    comp_speed: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.comm_speed is None and self.comp_speed is None:
+            raise ScenarioError("SpeedChange must set comm_speed and/or comp_speed")
+        for label, speed in (("comm_speed", self.comm_speed), ("comp_speed", self.comp_speed)):
+            if speed is not None and (not math.isfinite(speed) or speed <= 0.0):
+                raise ScenarioError(f"{label} must be positive and finite, got {speed}")
+
+    def describe(self) -> str:
+        """Render the event as one line for CLI output."""
+        parts = []
+        if self.comm_speed is not None:
+            parts.append(f"comm x{self.comm_speed:g}")
+        if self.comp_speed is not None:
+            parts.append(f"comp x{self.comp_speed:g}")
+        return f"t={self.time:g}: worker {self.worker_id} speed -> {', '.join(parts)}"
+
+
+@dataclass(frozen=True)
+class WorkerDown(PlatformEvent):
+    """The worker stops starting new computations at :attr:`time`.
+
+    The computation in progress (if any) runs to completion; queued and
+    newly arriving tasks wait until a :class:`WorkerUp` for the same worker.
+    """
+
+    def describe(self) -> str:
+        """Render the event as one line for CLI output."""
+        return f"t={self.time:g}: worker {self.worker_id} down"
+
+
+@dataclass(frozen=True)
+class WorkerUp(PlatformEvent):
+    """A downed worker resumes computing at :attr:`time`."""
+
+    def describe(self) -> str:
+        """Render the event as one line for CLI output."""
+        return f"t={self.time:g}: worker {self.worker_id} up"
+
+
+@dataclass(frozen=True)
+class WorkerJoin(PlatformEvent):
+    """The worker joins the platform at :attr:`time`.
+
+    A worker with a ``WorkerJoin`` at ``t > 0`` is unavailable on ``[0, t)``
+    even though it is part of the :class:`~repro.core.platform.Platform`
+    object from the start (schedulers see it, may even queue work on it; the
+    work only computes once the worker has joined).
+    """
+
+    def describe(self) -> str:
+        """Render the event as one line for CLI output."""
+        return f"t={self.time:g}: worker {self.worker_id} joins"
+
+
+class _WorkerTrack:
+    """Compiled per-worker step functions: times + state after each time."""
+
+    __slots__ = ("times", "comm_speeds", "comp_speeds", "availables")
+
+    def __init__(self) -> None:
+        self.times: List[float] = [0.0]
+        self.comm_speeds: List[float] = [1.0]
+        self.comp_speeds: List[float] = [1.0]
+        self.availables: List[bool] = [True]
+
+    def append(self, time: float, comm: float, comp: float, available: bool) -> None:
+        if time == self.times[-1]:
+            # Several events at the same instant collapse into one
+            # breakpoint holding the state after *all* of them (the
+            # inclusive-lookup pricing rule).
+            self.comm_speeds[-1] = comm
+            self.comp_speeds[-1] = comp
+            self.availables[-1] = available
+        else:
+            self.times.append(time)
+            self.comm_speeds.append(comm)
+            self.comp_speeds.append(comp)
+            self.availables.append(available)
+
+    def index_at(self, time: float) -> int:
+        return bisect_right(self.times, time) - 1
+
+
+class PlatformTimeline:
+    """Immutable compiled timeline of platform events for ``n_workers``.
+
+    The timeline answers two kinds of queries, both with the inclusive
+    convention (the state *after* every event with ``time <= t``):
+
+    * speed/availability lookups — :meth:`comm_speed`, :meth:`comp_speed`,
+      :meth:`available`;
+    * pricing — :meth:`effective_comm_time` / :meth:`effective_comp_time`,
+      the exact expressions used by the engine when starting work and by the
+      schedule validator when re-checking it (sharing the expression keeps
+      the floating-point results bit-identical).
+    """
+
+    def __init__(self, n_workers: int, events: Iterable[PlatformEvent] = ()):
+        if n_workers <= 0:
+            raise ScenarioError(f"timeline needs n_workers >= 1, got {n_workers}")
+        self._n_workers = n_workers
+        events = list(events)
+        for event in events:
+            if not isinstance(event, PlatformEvent):
+                raise ScenarioError(
+                    f"expected PlatformEvent, got {type(event).__name__}"
+                )
+            if event.worker_id >= n_workers:
+                raise ScenarioError(
+                    f"event targets worker {event.worker_id} but the platform "
+                    f"has only {n_workers} worker(s)"
+                )
+        ordered = sorted(events, key=lambda ev: (ev.time, ev.worker_id))
+        self._events: Tuple[PlatformEvent, ...] = tuple(ordered)
+        self._tracks: List[_WorkerTrack] = [_WorkerTrack() for _ in range(n_workers)]
+
+        # Workers that join at t > 0 are unavailable from the start.
+        for track, worker_id in zip(self._tracks, range(n_workers)):
+            joins = [
+                ev.time for ev in ordered
+                if isinstance(ev, WorkerJoin) and ev.worker_id == worker_id
+            ]
+            if joins and min(joins) > 0.0:
+                track.availables[0] = False
+
+        for event in ordered:
+            track = self._tracks[event.worker_id]
+            comm = track.comm_speeds[-1]
+            comp = track.comp_speeds[-1]
+            available = track.availables[-1]
+            if isinstance(event, SpeedChange):
+                comm = event.comm_speed if event.comm_speed is not None else comm
+                comp = event.comp_speed if event.comp_speed is not None else comp
+            elif isinstance(event, WorkerDown):
+                available = False
+            elif isinstance(event, (WorkerUp, WorkerJoin)):
+                available = True
+            else:  # pragma: no cover - exhaustive over the event vocabulary
+                raise ScenarioError(f"unknown platform event {type(event).__name__}")
+            track.append(event.time, comm, comp, available)
+
+    # -- introspection -------------------------------------------------------
+    @property
+    def n_workers(self) -> int:
+        """Number of workers the timeline was compiled for."""
+        return self._n_workers
+
+    @property
+    def events(self) -> Tuple[PlatformEvent, ...]:
+        """The compiled events in chronological (time, worker) order."""
+        return self._events
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when the timeline holds no events (static platform)."""
+        return not self._events
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def describe(self) -> List[str]:
+        """One line per event, chronological (used by ``repro scenario``)."""
+        return [event.describe() for event in self._events]
+
+    # -- lookups (inclusive: state after all events with time <= t) ----------
+    def _track(self, worker_id: int) -> _WorkerTrack:
+        try:
+            return self._tracks[worker_id]
+        except IndexError as exc:
+            raise ScenarioError(f"unknown worker_id {worker_id}") from exc
+
+    def comm_speed(self, worker_id: int, time: float) -> float:
+        """Communication-speed multiplier in effect at ``time``."""
+        track = self._track(worker_id)
+        return track.comm_speeds[track.index_at(time)]
+
+    def comp_speed(self, worker_id: int, time: float) -> float:
+        """Computation-speed multiplier in effect at ``time``."""
+        track = self._track(worker_id)
+        return track.comp_speeds[track.index_at(time)]
+
+    def available(self, worker_id: int, time: float) -> bool:
+        """Whether the worker may *start* a computation at ``time``."""
+        track = self._track(worker_id)
+        return track.availables[track.index_at(time)]
+
+    # -- pricing (shared verbatim by the engine and the validator) -----------
+    def effective_comm_time(
+        self, worker: Worker, comm_factor: float, time: float
+    ) -> float:
+        """Duration of a send to ``worker`` started at ``time``."""
+        return worker.comm_time(comm_factor) / self.comm_speed(worker.worker_id, time)
+
+    def effective_comp_time(
+        self, worker: Worker, comp_factor: float, time: float
+    ) -> float:
+        """Duration of a computation on ``worker`` started at ``time``."""
+        return worker.comp_time(comp_factor) / self.comp_speed(worker.worker_id, time)

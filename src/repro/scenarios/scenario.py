@@ -1,0 +1,197 @@
+"""The declarative :class:`Scenario` object and its string-keyed registry.
+
+A scenario bundles the three axes along which a run can deviate from the
+paper's Section 4 setup (static platform, bag of tasks released at time 0,
+identical task sizes):
+
+1. a **platform timeline** — timestamped :class:`~repro.scenarios.events.
+   PlatformEvent` objects (speed changes, downtime, elastic joins);
+2. a **release process** — how the ``n`` tasks arrive over time;
+3. a **perturbation policy** — optional random task-size perturbation, as in
+   the Figure 2 robustness experiment.
+
+Scenarios are *parametric*: the same named scenario applies to any platform
+and task count.  Event times are expressed relative to a characteristic
+**horizon** ``H = n_tasks / steady_state_throughput`` (a lower bound on the
+static makespan), so "worker 0 fails a quarter of the way in" means the same
+thing on a 3-worker toy platform and a 100-worker campaign cell.
+
+The registry mirrors the scheduler registry (:mod:`repro.schedulers.base`):
+experiments and the CLI refer to scenarios by name, which keeps campaign
+cells JSON-able — a cell stores ``scenario="degrading-worker"`` and the cell
+runner rebuilds the concrete :class:`ScenarioInstance` deterministically
+from the cell's own seed stream, so parallel campaign workers agree bit for
+bit with serial runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+import numpy as np
+
+from ..core.platform import Platform
+from ..core.task import TaskSet
+from ..exceptions import ScenarioError
+from ..workloads.perturbation import perturb_task_sizes
+from ..workloads.release import RngLike, all_at_zero, as_rng
+from .events import PlatformEvent, PlatformTimeline
+
+__all__ = [
+    "Scenario",
+    "ScenarioInstance",
+    "register_scenario",
+    "create_scenario",
+    "available_scenarios",
+]
+
+#: ``(platform, horizon) -> events`` — how a scenario adapts its timeline to
+#: the concrete platform it is instantiated on.
+TimelineBuilder = Callable[[Platform, float], Sequence[PlatformEvent]]
+
+#: ``(platform, n_tasks, horizon, rng) -> TaskSet`` — the release process.
+ReleaseBuilder = Callable[[Platform, int, float, np.random.Generator], TaskSet]
+
+
+def _static_timeline(platform: Platform, horizon: float) -> Sequence[PlatformEvent]:
+    """The empty timeline (default: the platform never changes)."""
+    return ()
+
+
+def _bag_release(
+    platform: Platform, n_tasks: int, horizon: float, rng: np.random.Generator
+) -> TaskSet:
+    """The paper's default release process: everything at time 0."""
+    return all_at_zero(n_tasks)
+
+
+@dataclass(frozen=True)
+class ScenarioInstance:
+    """A scenario bound to a concrete platform, task set and timeline.
+
+    This is what actually gets simulated: pass ``tasks`` and ``timeline`` to
+    :func:`repro.core.engine.simulate` together with ``platform``.
+    """
+
+    name: str
+    platform: Platform
+    tasks: TaskSet
+    timeline: PlatformTimeline
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named, declarative description of one experimental condition.
+
+    Attributes
+    ----------
+    name:
+        Registry key (lower-case, hyphenated by convention).
+    description:
+        One-line summary shown by ``repro scenario --list``.
+    timeline:
+        Builds the platform events for a concrete platform and horizon.
+    release:
+        Builds the task release process.
+    perturbation_amplitude:
+        When positive, every task's size factors are perturbed uniformly in
+        ``[1 - a, 1 + a]`` (the Figure 2 policy), after the release draws.
+    perturbation_coupled:
+        When true (default) one factor per task scales communication and
+        computation together.
+    """
+
+    name: str
+    description: str
+    timeline: TimelineBuilder = _static_timeline
+    release: ReleaseBuilder = _bag_release
+    perturbation_amplitude: float = 0.0
+    perturbation_coupled: bool = True
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ScenarioError("scenario name must be non-empty")
+        if not 0.0 <= self.perturbation_amplitude < 1.0:
+            raise ScenarioError(
+                "perturbation_amplitude must be in [0, 1), got "
+                f"{self.perturbation_amplitude}"
+            )
+
+    def horizon(self, platform: Platform, n_tasks: int) -> float:
+        """Characteristic timescale event times are expressed against.
+
+        ``n_tasks / steady_state_throughput`` is a lower bound on the static
+        makespan of ``n_tasks`` identical tasks, so fractions of it place
+        events "early", "midway" or "late" in the run regardless of the
+        platform's size or speed.
+        """
+        if n_tasks <= 0:
+            raise ScenarioError(f"need at least one task, got {n_tasks}")
+        return n_tasks / platform.steady_state_throughput()
+
+    def build(
+        self, platform: Platform, n_tasks: int, rng: RngLike = None
+    ) -> ScenarioInstance:
+        """Instantiate the scenario on a concrete platform.
+
+        All randomness (release draws, then perturbation draws) comes from
+        ``rng`` in a fixed order, so the instance is a pure function of
+        ``(scenario, platform, n_tasks, rng state)`` — the property campaign
+        determinism relies on.
+        """
+        generator = as_rng(rng)
+        horizon = self.horizon(platform, n_tasks)
+        tasks = self.release(platform, n_tasks, horizon, generator)
+        if len(tasks) != n_tasks:
+            raise ScenarioError(
+                f"scenario {self.name!r} release process built {len(tasks)} "
+                f"task(s), expected {n_tasks}"
+            )
+        if self.perturbation_amplitude > 0.0:
+            tasks = perturb_task_sizes(
+                tasks,
+                amplitude=self.perturbation_amplitude,
+                rng=generator,
+                coupled=self.perturbation_coupled,
+            )
+        timeline = PlatformTimeline(
+            len(platform), self.timeline(platform, horizon)
+        )
+        return ScenarioInstance(
+            name=self.name, platform=platform, tasks=tasks, timeline=timeline
+        )
+
+
+# ---------------------------------------------------------------------------
+# Registry (mirrors repro.schedulers.base)
+# ---------------------------------------------------------------------------
+_REGISTRY: Dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario) -> Scenario:
+    """Register a scenario under its (case-insensitive) name.
+
+    Returns the scenario so the call can be used as a decorator-style
+    one-liner when defining custom scenarios.
+    """
+    key = scenario.name.lower()
+    if key in _REGISTRY:
+        raise ScenarioError(f"scenario {scenario.name!r} is already registered")
+    _REGISTRY[key] = scenario
+    return scenario
+
+
+def create_scenario(name: str) -> Scenario:
+    """Look up a registered scenario by name."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError as exc:
+        raise ScenarioError(
+            f"unknown scenario {name!r}; available: {available_scenarios()}"
+        ) from exc
+
+
+def available_scenarios() -> List[str]:
+    """Names of every registered scenario, sorted."""
+    return sorted(_REGISTRY)

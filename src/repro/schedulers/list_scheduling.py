@@ -37,6 +37,7 @@ class ListScheduler(OnlineScheduler):
     name = "LS"
 
     def decide(self, view: SchedulerView) -> Decision:
+        """Send the FIFO task to the worker minimising its completion time."""
         task = view.next_pending
         if task is None:  # pragma: no cover - engine never calls with no pending
             return Decision.wait()
@@ -62,6 +63,7 @@ class GreedyCommunicationScheduler(OnlineScheduler):
     name = "GREEDY-COMM"
 
     def decide(self, view: SchedulerView) -> Decision:
+        """Send the FIFO task to the cheapest link among least-loaded workers."""
         task = view.next_pending
         if task is None:  # pragma: no cover
             return Decision.wait()

@@ -62,6 +62,7 @@ class OfflineSolution:
     sum_flow: float
 
     def value(self, objective: Objective) -> float:
+        """The given objective's value on this solution."""
         if objective is Objective.MAKESPAN:
             return self.makespan
         if objective is Objective.MAX_FLOW:
@@ -195,6 +196,7 @@ class OrderedAssignmentScheduler(OnlineScheduler):
         self._cursor = 0
 
     def reset(self, platform: Platform, n_tasks_hint: Optional[int] = None) -> None:
+        """Validate the assignment against the platform, rewind the cursor."""
         super().reset(platform, n_tasks_hint)
         self._cursor = 0
         for task_id, worker_id in self.assignment.items():
@@ -204,6 +206,7 @@ class OrderedAssignmentScheduler(OnlineScheduler):
                 )
 
     def decide(self, view: SchedulerView) -> Decision:
+        """Replay the planned order, falling back to FIFO beyond it."""
         if self._cursor >= len(self.order):
             # Tasks outside the explicit order fall back to FIFO/first worker.
             return Decision.assign(self._fifo_task(view), 0)

@@ -32,11 +32,13 @@ class RandomScheduler(OnlineScheduler):
         self._rng = np.random.default_rng(seed)
 
     def reset(self, platform: Platform, n_tasks_hint: Optional[int] = None) -> None:
+        """Re-seed the private generator for a reproducible fresh run."""
         super().reset(platform, n_tasks_hint)
         # Re-seed on reset so repeated runs of the same instance are identical.
         self._rng = np.random.default_rng(self._seed)
 
     def decide(self, view: SchedulerView) -> Decision:
+        """Assign the FIFO task to a uniformly random worker."""
         worker_id = int(self._rng.integers(0, len(view.workers)))
         return Decision.assign(self._fifo_task(view), worker_id)
 
@@ -58,6 +60,7 @@ class FixedAssignmentScheduler(OnlineScheduler):
         self._cursor = 0
 
     def reset(self, platform: Platform, n_tasks_hint: Optional[int] = None) -> None:
+        """Validate the assignment against the platform, rewind the cursor."""
         super().reset(platform, n_tasks_hint)
         for worker_id in self.assignment:
             if not 0 <= worker_id < platform.n_workers:
@@ -67,6 +70,7 @@ class FixedAssignmentScheduler(OnlineScheduler):
         self._cursor = 0
 
     def decide(self, view: SchedulerView) -> Decision:
+        """Assign the FIFO task to the next worker of the fixed sequence."""
         if self._cursor >= len(self.assignment):
             raise SchedulingError(
                 "fixed assignment exhausted: more tasks than planned positions"
@@ -86,9 +90,11 @@ class SingleWorkerScheduler(OnlineScheduler):
         self.worker_id = worker_id
 
     def reset(self, platform: Platform, n_tasks_hint: Optional[int] = None) -> None:
+        """Check that the designated worker exists on the platform."""
         super().reset(platform, n_tasks_hint)
         if not 0 <= self.worker_id < platform.n_workers:
             raise SchedulingError(f"unknown worker {self.worker_id}")
 
     def decide(self, view: SchedulerView) -> Decision:
+        """Assign the FIFO task to the designated worker."""
         return Decision.assign(self._fifo_task(view), self.worker_id)

@@ -82,10 +82,12 @@ class BoundedRoundRobinBase(OnlineScheduler):
         self._order: List[int] = []
 
     def reset(self, platform: Platform, n_tasks_hint: Optional[int] = None) -> None:
+        """Compute the prescribed worker ordering for this platform."""
         super().reset(platform, n_tasks_hint)
         self._order = _ordering(platform, self.ordering_key)
 
     def decide(self, view: SchedulerView) -> Decision:
+        """Send the FIFO task to the first under-backlog worker in order."""
         task = view.next_pending
         if task is None:  # pragma: no cover - engine never calls with no pending
             return Decision.wait()
@@ -131,11 +133,13 @@ class StrictRoundRobinBase(OnlineScheduler):
         self._cursor = 0
 
     def reset(self, platform: Platform, n_tasks_hint: Optional[int] = None) -> None:
+        """Compute the prescribed ordering and rewind the cyclic cursor."""
         super().reset(platform, n_tasks_hint)
         self._order = _ordering(platform, self.ordering_key)
         self._cursor = 0
 
     def decide(self, view: SchedulerView) -> Decision:
+        """Assign the FIFO task to the next worker of the cycle."""
         task = view.next_pending
         if task is None:  # pragma: no cover
             return Decision.wait()

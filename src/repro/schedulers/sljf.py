@@ -185,6 +185,7 @@ class _PlannedScheduler(OnlineScheduler):
         self._quota: Optional[List[int]] = None
 
     def reset(self, platform: Platform, n_tasks_hint: Optional[int] = None) -> None:
+        """Build the backward plan (quotas) for this platform and horizon."""
         super().reset(platform, n_tasks_hint)
         self._plan = None
         self._quota = None
@@ -203,6 +204,7 @@ class _PlannedScheduler(OnlineScheduler):
         self._quota = quota
 
     def decide(self, view: SchedulerView) -> Decision:
+        """Dispatch by remaining quota; list-schedule beyond the plan."""
         task = view.next_pending
         if task is None:  # pragma: no cover - engine never calls with no pending
             return Decision.wait()

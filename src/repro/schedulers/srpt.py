@@ -33,6 +33,7 @@ class SRPTScheduler(OnlineScheduler):
     name = "SRPT"
 
     def decide(self, view: SchedulerView) -> Decision:
+        """Send the FIFO task to the fastest free worker, else wait."""
         free = view.free_workers
         if not free:
             # Wait for the next natural event — the earliest of which that can

@@ -114,6 +114,7 @@ class GameLeaf:
     delays: Mapping[int, float] = field(default_factory=dict)
 
     def task_set(self) -> TaskSet:
+        """The instance's releases as a :class:`TaskSet`."""
         return TaskSet.from_releases(list(self.releases))
 
 
@@ -315,6 +316,7 @@ class ReactiveGameOutcome:
 
     @property
     def ratio(self) -> float:
+        """``algorithm_value / optimal_value`` for this play."""
         return self.algorithm_value / self.optimal_value
 
 

@@ -61,19 +61,24 @@ class SingleCheckpointAdversary(ReactiveAdversary):
 
     @property
     def platform(self) -> Platform:
+        """The platform the game is played on."""
         return self._platform
 
     @property
     def objective(self) -> Objective:
+        """The objective the ratio is measured against."""
         return self._objective
 
     def initial_releases(self) -> List[float]:
+        """One task released at time 0."""
         return [0.0]
 
     def checkpoints(self) -> List[float]:
+        """The single observation time."""
         return [self.checkpoint]
 
     def respond(self, checkpoint_index: int, observation: Dict[int, int]) -> List[float]:
+        """Flood iff the first task was committed to the forced worker."""
         if checkpoint_index != 0:  # pragma: no cover - single checkpoint only
             return []
         if observation.get(0) == self.forced_worker:
@@ -114,19 +119,24 @@ class TwoCheckpointAdversary(ReactiveAdversary):
 
     @property
     def platform(self) -> Platform:
+        """The platform the game is played on."""
         return self._platform
 
     @property
     def objective(self) -> Objective:
+        """The objective the ratio is measured against."""
         return self._objective
 
     def initial_releases(self) -> List[float]:
+        """One task released at time 0."""
         return [0.0]
 
     def checkpoints(self) -> List[float]:
+        """The two observation times."""
         return [self.first_checkpoint, self.second_checkpoint]
 
     def respond(self, checkpoint_index: int, observation: Dict[int, int]) -> List[float]:
+        """Release one more task per checkpoint while the forced worker is used."""
         if checkpoint_index == 0:
             if observation.get(0) == self.forced_worker:
                 return [self.first_checkpoint]

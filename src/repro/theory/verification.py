@@ -104,6 +104,7 @@ class CertificateCheck:
 
     @property
     def relative_gap(self) -> float:
+        """The gap as a fraction of the stated bound."""
         return self.gap / self.stated_bound
 
 

@@ -9,6 +9,10 @@ ablation studies:
 * :func:`all_at_zero` — bag of tasks, the default for Figure 1/2;
 * :func:`uniform_releases` — releases drawn uniformly over a window;
 * :func:`poisson_releases` — a Poisson process with a target load factor;
+* :func:`inhomogeneous_poisson_releases` — a nonstationary Poisson process
+  with a time-varying rate, simulated by thinning (Lewis & Shedler 1979; the
+  same construction as Hohmann's IPPP package, arXiv:1901.10754) — the
+  substrate of the ``flash-crowd`` and ``diurnal-load`` scenarios;
 * :func:`bursty_releases` — bursts of simultaneous releases separated by
   idle gaps;
 * :func:`saturating_releases` — inter-arrival times matching the platform's
@@ -21,7 +25,7 @@ and return a :class:`~repro.core.task.TaskSet`.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Callable, Union
 
 import numpy as np
 
@@ -33,6 +37,7 @@ __all__ = [
     "all_at_zero",
     "uniform_releases",
     "poisson_releases",
+    "inhomogeneous_poisson_releases",
     "bursty_releases",
     "saturating_releases",
     "as_rng",
@@ -80,6 +85,65 @@ def poisson_releases(
     gaps = generator.exponential(scale=1.0 / rate, size=n_tasks)
     releases = start + np.cumsum(gaps) - gaps[0]  # first release at `start`
     return TaskSet.from_releases([float(r) for r in releases])
+
+
+def inhomogeneous_poisson_releases(
+    n_tasks: int,
+    rate_fn: Callable[[float], float],
+    max_rate: float,
+    rng: RngLike = None,
+    start: float = 0.0,
+) -> TaskSet:
+    """A nonstationary Poisson process with intensity ``rate_fn``, by thinning.
+
+    Candidate arrivals are drawn from a homogeneous Poisson process with the
+    envelope rate ``max_rate`` and each candidate at time ``t`` is accepted
+    with probability ``rate_fn(t) / max_rate`` (Lewis-Shedler thinning, the
+    construction used by the IPPP package, arXiv:1901.10754).  Generation
+    stops once ``n_tasks`` arrivals are accepted.
+
+    Parameters
+    ----------
+    n_tasks:
+        Number of accepted arrivals (= tasks) to generate.
+    rate_fn:
+        Instantaneous arrival intensity; must satisfy
+        ``0 <= rate_fn(t) <= max_rate`` for every candidate time (violations
+        of the envelope raise :class:`~repro.exceptions.TaskError`, because
+        a leaky envelope silently biases the process).
+    max_rate:
+        The constant envelope rate of the candidate process.
+    rng:
+        Seed or :class:`numpy.random.Generator` for reproducibility.
+    start:
+        Time at which the process starts.
+    """
+    _check_count(n_tasks)
+    if max_rate <= 0:
+        raise TaskError(f"max_rate must be positive, got {max_rate}")
+    generator = as_rng(rng)
+    releases = []
+    t = float(start)
+    # The expected number of candidates per acceptance is max_rate / E[rate],
+    # so a run needing more than this many draws signals a rate function that
+    # is (nearly) zero against its envelope.
+    max_draws = 10_000 * n_tasks + 100_000
+    for _ in range(max_draws):
+        t += float(generator.exponential(scale=1.0 / max_rate))
+        rate = float(rate_fn(t))
+        if rate < 0.0 or rate > max_rate * (1.0 + 1e-12):
+            raise TaskError(
+                f"rate_fn({t}) = {rate} escapes the envelope [0, {max_rate}]"
+            )
+        if generator.uniform(0.0, max_rate) < rate:
+            releases.append(t)
+            if len(releases) == n_tasks:
+                return TaskSet.from_releases(releases)
+    raise TaskError(
+        f"thinning accepted only {len(releases)}/{n_tasks} arrivals after "
+        f"{max_draws} candidate draws; rate_fn is (nearly) zero relative to "
+        f"max_rate={max_rate}"
+    )
 
 
 def bursty_releases(

@@ -211,6 +211,32 @@ class TestRunCampaign:
         assert serial.mean_ratios == parallel.mean_ratios
         assert serial.per_run_ratios == parallel.per_run_ratios
 
+    def test_parallel_equals_serial_on_scenario_grid(self):
+        # The scenario axis re-derives releases and the platform timeline
+        # inside each cell, so dynamic-platform campaigns must stay
+        # bit-identical across worker counts too.
+        config = Figure1Config(
+            n_platforms=2, n_tasks=30, seed=11, scenario="node-failure"
+        )
+        serial = run_figure1_panel(config, workers=1)
+        parallel = run_figure1_panel(config, workers=4)
+        assert serial.per_platform == parallel.per_platform
+        assert serial.mean_normalised == parallel.mean_normalised
+
+    def test_scenario_axis_changes_cell_identity_but_not_static_keys(self):
+        static = figure1_panel_grid(SMALL_FIG1, root_seed=11)
+        from dataclasses import replace
+
+        dynamic = figure1_panel_grid(
+            replace(SMALL_FIG1, scenario="degrading-worker"), root_seed=11
+        )
+        assert {c.cache_key() for c in static}.isdisjoint(
+            {c.cache_key() for c in dynamic}
+        )
+        # The static default is omitted from the params, so pre-scenario
+        # cache entries remain addressable.
+        assert all(c.param("scenario", "static") == "static" for c in static)
+
     def test_cache_hits_skip_recomputation(self, tmp_path):
         cache = CampaignCache(tmp_path / "cache")
         root_seed = 11

@@ -93,3 +93,63 @@ class TestMain:
     def test_campaign_table1(self, capsys):
         assert main(["campaign", "table1"]) == 0
         assert "communication-homogeneous" in capsys.readouterr().out
+
+
+class TestScenarioCommand:
+    def test_parser_accepts_scenario_options(self):
+        args = build_parser().parse_args(
+            ["scenario", "node-failure", "--scheduler", "LS", "--tasks", "40",
+             "--seed", "7", "--comm", "0.2", "0.5", "--comp", "1.0", "2.0"]
+        )
+        assert args.command == "scenario"
+        assert args.name == "node-failure"
+        assert args.scheduler == "LS"
+
+    def test_list_shows_every_registered_scenario(self, capsys):
+        from repro.scenarios import available_scenarios
+
+        assert main(["scenario", "--list"]) == 0
+        out = capsys.readouterr().out
+        for name in available_scenarios():
+            assert name in out
+
+    def test_bare_scenario_command_lists(self, capsys):
+        assert main(["scenario"]) == 0
+        assert "degrading-worker" in capsys.readouterr().out
+
+    def test_run_one_scenario_all_heuristics(self, capsys):
+        code = main(["scenario", "node-failure", "--tasks", "30", "--seed", "7"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "worker 0 down" in out
+        assert "worker 0 up" in out
+        for heuristic in ("SRPT", "LS", "RR", "RRC", "RRP", "SLJF", "SLJFWC"):
+            assert heuristic in out
+
+    def test_run_is_deterministic(self, capsys):
+        argv = ["scenario", "diurnal-load", "--tasks", "25", "--seed", "3"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_unknown_scenario_fails_cleanly(self, capsys):
+        code = main(["scenario", "no-such-scenario"])
+        assert code == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_mismatched_platform_lists_fail_cleanly(self, capsys):
+        code = main(["scenario", "static", "--comm", "1.0", "--comp", "1.0", "2.0"])
+        assert code == 2
+
+    def test_figure1_scenario_flag(self, capsys):
+        code = main(
+            ["figure1", "--platforms", "1", "--tasks", "30", "--panels", "1a",
+             "--scenario", "degrading-worker"]
+        )
+        assert code == 0
+        assert "scenario degrading-worker" in capsys.readouterr().out
+
+    def test_figure1_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure1", "--scenario", "nope"])

@@ -11,6 +11,7 @@ from repro.workloads.release import (
     all_at_zero,
     as_rng,
     bursty_releases,
+    inhomogeneous_poisson_releases,
     poisson_releases,
     saturating_releases,
     uniform_releases,
@@ -119,3 +120,57 @@ class TestSaturatingReleases:
     def test_invalid_load_rejected(self, platform):
         with pytest.raises(TaskError):
             saturating_releases(10, platform, load_factor=0.0)
+
+
+class TestInhomogeneousPoissonReleases:
+    def test_count_and_ordering(self):
+        tasks = inhomogeneous_poisson_releases(50, lambda t: 2.0, max_rate=2.0, rng=0)
+        assert len(tasks) == 50
+        assert tasks.releases == sorted(tasks.releases)
+
+    def test_seed_is_deterministic(self):
+        a = inhomogeneous_poisson_releases(30, lambda t: 1.0, max_rate=4.0, rng=9)
+        b = inhomogeneous_poisson_releases(30, lambda t: 1.0, max_rate=4.0, rng=9)
+        assert a == b
+
+    def test_constant_rate_matches_homogeneous_intensity(self):
+        # With rate_fn == max_rate no candidate is thinned, so the mean
+        # inter-arrival time must be close to 1/rate.
+        rate = 5.0
+        tasks = inhomogeneous_poisson_releases(2000, lambda t: rate, max_rate=rate, rng=1)
+        mean_gap = tasks.last_release / (len(tasks) - 1)
+        assert mean_gap == pytest.approx(1.0 / rate, rel=0.1)
+
+    def test_thinning_suppresses_the_quiet_phase(self):
+        # Intensity 8 on [0, 10), zero afterwards until the process is
+        # starved; everything must land in the burst window.
+        def rate(t):
+            return 8.0 if t < 10.0 else 0.1
+
+        tasks = inhomogeneous_poisson_releases(40, rate, max_rate=8.0, rng=2)
+        in_burst = sum(1 for r in tasks.releases if r < 10.0)
+        assert in_burst >= 35
+
+    def test_start_offsets_the_process(self):
+        tasks = inhomogeneous_poisson_releases(
+            10, lambda t: 1.0, max_rate=1.0, rng=3, start=100.0
+        )
+        assert tasks.first_release > 100.0
+
+    def test_envelope_violation_rejected(self):
+        with pytest.raises(TaskError, match="escapes the envelope"):
+            inhomogeneous_poisson_releases(5, lambda t: 3.0, max_rate=2.0, rng=0)
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(TaskError, match="escapes the envelope"):
+            inhomogeneous_poisson_releases(5, lambda t: -1.0, max_rate=2.0, rng=0)
+
+    def test_starved_process_raises_instead_of_hanging(self):
+        with pytest.raises(TaskError, match="thinning accepted only"):
+            inhomogeneous_poisson_releases(1, lambda t: 0.0, max_rate=1.0, rng=0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(TaskError):
+            inhomogeneous_poisson_releases(0, lambda t: 1.0, max_rate=1.0)
+        with pytest.raises(TaskError):
+            inhomogeneous_poisson_releases(5, lambda t: 1.0, max_rate=0.0)

@@ -1,0 +1,216 @@
+"""Tests for the scenario subsystem (:mod:`repro.scenarios`).
+
+Covers the :class:`PlatformTimeline` lookup semantics, the scenario
+registry, instantiation determinism, and the headline acceptance property:
+all seven paper heuristics complete every built-in scenario — with schedules
+that pass the independent validator.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.engine import simulate
+from repro.core.platform import Platform
+from repro.exceptions import ScenarioError
+from repro.scenarios import (
+    BUILTIN_SCENARIOS,
+    PlatformTimeline,
+    Scenario,
+    SpeedChange,
+    WorkerDown,
+    WorkerJoin,
+    WorkerUp,
+    available_scenarios,
+    create_scenario,
+    register_scenario,
+)
+from repro.schedulers.base import PAPER_HEURISTICS, create_scheduler
+from repro.workloads.release import all_at_zero
+
+
+SMALL_PLATFORM = Platform.from_times([0.2, 0.5, 1.0], [1.0, 2.0, 4.0])
+
+
+class TestPlatformEvents:
+    def test_negative_time_rejected(self):
+        with pytest.raises(ScenarioError):
+            WorkerDown(-1.0, 0)
+
+    def test_speed_change_needs_a_dimension(self):
+        with pytest.raises(ScenarioError):
+            SpeedChange(1.0, 0)
+
+    def test_non_positive_speed_rejected(self):
+        with pytest.raises(ScenarioError):
+            SpeedChange(1.0, 0, comm_speed=0.0)
+        with pytest.raises(ScenarioError):
+            SpeedChange(1.0, 0, comp_speed=-2.0)
+
+    def test_describe_is_one_line(self):
+        for event in (
+            SpeedChange(1.5, 2, comm_speed=0.5),
+            WorkerDown(1.0, 0),
+            WorkerUp(2.0, 0),
+            WorkerJoin(3.0, 1),
+        ):
+            text = event.describe()
+            assert "\n" not in text and "worker" in text
+
+
+class TestPlatformTimeline:
+    def test_lookup_is_inclusive_at_event_time(self):
+        timeline = PlatformTimeline(1, [SpeedChange(2.0, 0, comp_speed=0.5)])
+        assert timeline.comp_speed(0, 1.999) == 1.0
+        assert timeline.comp_speed(0, 2.0) == 0.5
+        assert timeline.comp_speed(0, 7.0) == 0.5
+        assert timeline.comm_speed(0, 2.0) == 1.0  # other dimension untouched
+
+    def test_speed_changes_do_not_compound(self):
+        timeline = PlatformTimeline(
+            1,
+            [SpeedChange(1.0, 0, comp_speed=0.5), SpeedChange(2.0, 0, comp_speed=0.5)],
+        )
+        assert timeline.comp_speed(0, 3.0) == 0.5  # absolute, not 0.25
+
+    def test_same_instant_events_collapse_to_final_state(self):
+        timeline = PlatformTimeline(1, [WorkerDown(3.0, 0), WorkerUp(3.0, 0)])
+        assert timeline.available(0, 3.0) is True
+        assert timeline.available(0, 2.9) is True
+
+    def test_down_up_window(self):
+        timeline = PlatformTimeline(2, [WorkerDown(1.0, 1), WorkerUp(4.0, 1)])
+        assert timeline.available(1, 0.5) is True
+        assert timeline.available(1, 1.0) is False
+        assert timeline.available(1, 3.999) is False
+        assert timeline.available(1, 4.0) is True
+        assert timeline.available(0, 2.0) is True  # other workers unaffected
+
+    def test_worker_join_is_unavailable_from_time_zero(self):
+        timeline = PlatformTimeline(2, [WorkerJoin(5.0, 1)])
+        assert timeline.available(1, 0.0) is False
+        assert timeline.available(1, 4.999) is False
+        assert timeline.available(1, 5.0) is True
+        assert timeline.available(0, 0.0) is True
+
+    def test_join_at_zero_is_available_immediately(self):
+        timeline = PlatformTimeline(1, [WorkerJoin(0.0, 0)])
+        assert timeline.available(0, 0.0) is True
+
+    def test_effective_times_divide_by_speed(self):
+        worker = SMALL_PLATFORM[1]  # c=0.5, p=2.0
+        timeline = PlatformTimeline(
+            3, [SpeedChange(2.0, 1, comm_speed=0.5, comp_speed=4.0)]
+        )
+        assert timeline.effective_comm_time(worker, 1.0, 0.0) == 0.5
+        assert timeline.effective_comm_time(worker, 1.0, 2.0) == 1.0
+        assert timeline.effective_comp_time(worker, 2.0, 2.0) == 1.0
+
+    def test_event_beyond_worker_count_rejected(self):
+        with pytest.raises(ScenarioError):
+            PlatformTimeline(2, [WorkerDown(1.0, 2)])
+
+    def test_non_event_input_rejected_before_sorting(self):
+        with pytest.raises(ScenarioError, match="expected PlatformEvent"):
+            PlatformTimeline(2, [(1.0, 0)])
+
+    def test_events_are_chronologically_sorted(self):
+        timeline = PlatformTimeline(
+            1, [WorkerUp(4.0, 0), WorkerDown(1.0, 0)]
+        )
+        assert [event.time for event in timeline.events] == [1.0, 4.0]
+
+    def test_trivial_timeline(self):
+        timeline = PlatformTimeline(2)
+        assert timeline.is_trivial
+        assert len(timeline) == 0
+        assert timeline.comm_speed(0, 100.0) == 1.0
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        names = available_scenarios()
+        assert {s.name for s in BUILTIN_SCENARIOS} == set(names)
+        assert "static" in names and "degrading-worker" in names
+        assert len(names) == 8
+
+    def test_lookup_is_case_insensitive(self):
+        assert create_scenario("Node-Failure").name == "node-failure"
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(ScenarioError, match="unknown scenario"):
+            create_scenario("does-not-exist")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ScenarioError, match="already registered"):
+            register_scenario(Scenario(name="static", description="dup"))
+
+
+class TestScenarioBuild:
+    def test_static_build_matches_paper_setup(self):
+        instance = create_scenario("static").build(SMALL_PLATFORM, 12, rng=0)
+        assert instance.tasks == all_at_zero(12)
+        assert instance.timeline.is_trivial
+
+    def test_build_is_deterministic_in_the_seed(self):
+        scenario = create_scenario("congested-uplink")
+        a = scenario.build(SMALL_PLATFORM, 25, rng=42)
+        b = scenario.build(SMALL_PLATFORM, 25, rng=42)
+        assert a.tasks == b.tasks
+        assert a.timeline.events == b.timeline.events
+
+    def test_horizon_scales_with_task_count(self):
+        scenario = create_scenario("node-failure")
+        assert scenario.horizon(SMALL_PLATFORM, 200) == pytest.approx(
+            2 * scenario.horizon(SMALL_PLATFORM, 100)
+        )
+
+    def test_release_count_mismatch_is_rejected(self):
+        bad = Scenario(
+            name="bad-count",
+            description="returns one task too few",
+            release=lambda platform, n, horizon, rng: all_at_zero(n - 1),
+        )
+        with pytest.raises(ScenarioError, match="expected 5"):
+            bad.build(SMALL_PLATFORM, 5, rng=0)
+
+    def test_perturbation_amplitude_validated(self):
+        with pytest.raises(ScenarioError):
+            Scenario(name="x", description="y", perturbation_amplitude=1.5)
+
+    def test_single_worker_platforms_are_supported(self):
+        solo = Platform.from_times([0.3], [1.5])
+        for name in available_scenarios():
+            instance = create_scenario(name).build(solo, 10, rng=1)
+            schedule = simulate(
+                create_scheduler("LS"),
+                solo,
+                instance.tasks,
+                expose_task_count=True,
+                timeline=instance.timeline,
+            )
+            schedule.validate()
+
+    def test_elastic_cluster_joins_the_back_half(self):
+        instance = create_scenario("elastic-cluster").build(SMALL_PLATFORM, 30, rng=0)
+        joiners = {event.worker_id for event in instance.timeline.events}
+        assert joiners == {2}  # m=3: worker ids (m+1)//2 .. m-1
+
+
+class TestAllHeuristicsCompleteAllScenarios:
+    """Acceptance: the seven paper heuristics run every built-in scenario
+    unmodified, and the resulting dynamic-platform schedules validate."""
+
+    @pytest.mark.parametrize("scenario_name", sorted({s.name for s in BUILTIN_SCENARIOS}))
+    @pytest.mark.parametrize("heuristic", PAPER_HEURISTICS)
+    def test_completes_and_validates(self, scenario_name, heuristic):
+        instance = create_scenario(scenario_name).build(SMALL_PLATFORM, 30, rng=7)
+        schedule = simulate(
+            create_scheduler(heuristic),
+            SMALL_PLATFORM,
+            instance.tasks,
+            expose_task_count=True,
+            timeline=instance.timeline,
+        )
+        assert schedule.is_complete
+        schedule.validate()

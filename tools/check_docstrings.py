@@ -1,0 +1,128 @@
+#!/usr/bin/env python
+"""Docstring-coverage gate (stdlib-only stand-in for ``interrogate``).
+
+Counts docstrings on modules, public classes and public functions/methods
+under the given paths and fails when coverage drops below ``--fail-under``.
+The container image does not ship ``pydocstyle``/``interrogate``, so this
+gate is implemented on :mod:`ast` alone; semantics follow interrogate's
+defaults closely:
+
+* private names (leading underscore) and dunders are exempt, including
+  everything inside a private class;
+* nested (closure) functions are exempt — only module- and class-level
+  definitions count;
+* ``# pragma: no docstring`` on the ``def``/``class`` line exempts one
+  definition (for intentionally undocumented stubs).
+
+Usage (CI runs this against ``src/repro``)::
+
+    python tools/check_docstrings.py --fail-under 95 src/repro
+
+``tests/test_docstring_coverage.py`` runs the same check as part of the
+tier-1 suite, so the gate holds locally as well as in CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import Iterator, List, NamedTuple
+
+
+class Definition(NamedTuple):
+    """One checkable definition and whether it carries a docstring."""
+
+    path: Path
+    line: int
+    kind: str
+    name: str
+    documented: bool
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _pragma_exempt(source_lines: List[str], node: ast.AST) -> bool:
+    line = source_lines[node.lineno - 1] if node.lineno <= len(source_lines) else ""
+    return "pragma: no docstring" in line
+
+
+def iter_definitions(path: Path) -> Iterator[Definition]:
+    """Yield the module plus every public class/function definition in it."""
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    lines = source.splitlines()
+
+    yield Definition(path, 1, "module", path.stem, ast.get_docstring(tree) is not None)
+
+    # Walk module- and class-level scopes only: functions nested inside
+    # functions are implementation details.
+    scopes = [tree]
+    while scopes:
+        scope = scopes.pop()
+        for node in scope.body:
+            if isinstance(node, ast.ClassDef):
+                if _is_public(node.name):
+                    if not _pragma_exempt(lines, node):
+                        yield Definition(
+                            path, node.lineno, "class", node.name,
+                            ast.get_docstring(node) is not None,
+                        )
+                    scopes.append(node)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if _is_public(node.name) and not _pragma_exempt(lines, node):
+                    yield Definition(
+                        path, node.lineno, "function", node.name,
+                        ast.get_docstring(node) is not None,
+                    )
+
+
+def collect(paths: List[Path]) -> List[Definition]:
+    """All checkable definitions under the given files/directories."""
+    definitions: List[Definition] = []
+    for root in paths:
+        files = sorted(root.rglob("*.py")) if root.is_dir() else [root]
+        for file in files:
+            definitions.extend(iter_definitions(file))
+    return definitions
+
+
+def main(argv: List[str] = None) -> int:
+    """Entry point; returns a shell exit code."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="+", type=Path, help="files or directories")
+    parser.add_argument(
+        "--fail-under", type=float, default=95.0, metavar="PCT",
+        help="minimum docstring coverage percentage (default 95)",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="list every undocumented definition"
+    )
+    args = parser.parse_args(argv)
+
+    definitions = collect(args.paths)
+    if not definitions:
+        print("error: no python definitions found", file=sys.stderr)
+        return 2
+    missing = [d for d in definitions if not d.documented]
+    covered = len(definitions) - len(missing)
+    coverage = 100.0 * covered / len(definitions)
+
+    if args.verbose or coverage < args.fail_under:
+        for d in missing:
+            print(f"{d.path}:{d.line}: undocumented {d.kind} {d.name!r}")
+    print(
+        f"docstring coverage: {covered}/{len(definitions)} = {coverage:.1f}% "
+        f"(threshold {args.fail_under:.1f}%)"
+    )
+    if coverage < args.fail_under:
+        print("FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
