@@ -1,0 +1,57 @@
+"""Benchmark: request throughput of the scheduling service.
+
+Not a paper figure — a serving-layer benchmark that tracks the three cost
+regimes of ``repro.service``: the all-miss stream (every request pays a
+simulation), the warm-cache stream (every request is a lookup), and the
+per-request canonicalization overhead that both regimes share.
+
+Run with:  pytest benchmarks/bench_service_throughput.py --benchmark-only
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.service.cache import LRUResultCache
+from repro.service.dispatcher import ScheduleService
+from repro.service.schema import canonicalize_request
+from repro.service.server import serve_lines
+from repro.service.streams import synthetic_request_lines
+
+
+def _serve(lines, cache) -> int:
+    with ScheduleService(workers=1, batch_size=16, max_queue=1024, cache=cache) as svc:
+        return serve_lines(iter(lines), svc, io.StringIO())
+
+
+@pytest.mark.parametrize("n_requests", [32, 128])
+def test_service_unique_stream(benchmark, n_requests):
+    """All-miss stream: every request runs one simulation."""
+    lines = synthetic_request_lines(n_requests)
+    written = benchmark(_serve, lines, LRUResultCache(max_entries=4 * n_requests))
+    assert written == n_requests
+
+
+@pytest.mark.parametrize("n_requests", [128])
+def test_service_cached_stream(benchmark, n_requests):
+    """Warm-cache stream: every request is answered by a lookup."""
+    lines = synthetic_request_lines(n_requests)
+    cache = LRUResultCache(max_entries=4 * n_requests)
+    _serve(lines, cache)
+    written = benchmark(_serve, lines, cache)
+    assert written == n_requests
+    assert cache.hits >= n_requests
+
+
+def test_request_canonicalize(benchmark):
+    """Validation + canonical hashing of 1000 raw payloads."""
+    payloads = [json.loads(line) for line in synthetic_request_lines(1000)]
+
+    def run():
+        return [canonicalize_request(p).key for p in payloads]
+
+    keys = benchmark(run)
+    assert len(keys) == 1000

@@ -7,7 +7,7 @@ simulated MPI cluster substrate and the experiment harness regenerating
 Figures 1 and 2.
 """
 
-from . import core, scenarios, schedulers, theory
+from . import core, scenarios, schedulers, service, theory
 from .core import (
     Decision,
     Objective,
@@ -52,6 +52,7 @@ __all__ = [
     "max_flow",
     "scenarios",
     "schedulers",
+    "service",
     "simulate",
     "sum_flow",
     "theory",

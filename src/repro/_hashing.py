@@ -1,0 +1,47 @@
+"""Shared content-hashing core.
+
+Two subsystems name their cache entries by the SHA-256 of a canonical JSON
+encoding: the campaign result cache (:mod:`repro.campaigns.cache`, keyed by
+:meth:`~repro.campaigns.grid.CampaignCell.cache_key`) and the service result
+cache (:mod:`repro.service`, keyed by the canonical request).  Both go
+through this module so the discipline stays identical:
+
+* **canonical encoding** — :func:`canonical_json` sorts keys and drops all
+  insignificant whitespace, so two structurally different dict orderings
+  produce the same byte stream;
+* **content addressing** — :func:`content_hash` hashes that byte stream, so
+  any semantic change to the value changes the key and anything else leaves
+  it untouched.
+
+The encoding is pinned: ``tests/test_hashing.py`` asserts the exact cache
+keys of known campaign cells, so a change to this module that would silently
+invalidate every on-disk campaign cache fails the tier-1 suite instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from json import dumps
+from typing import Any
+
+__all__ = ["canonical_json", "content_hash"]
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON encoding: sorted keys, no insignificant whitespace.
+
+    The input must already be JSON-serialisable (plain dicts/lists/scalars);
+    callers are responsible for normalising richer types first (see
+    ``repro.campaigns.grid._jsonable`` and the service canonicalizer).
+    """
+    return dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def content_hash(value: Any) -> str:
+    """SHA-256 hex digest of :func:`canonical_json` — a content-addressed key.
+
+    Equal values (after canonicalisation) always map to the same key, on any
+    machine and under any ``PYTHONHASHSEED``, which is what lets campaign
+    caches and service caches be shared between processes and re-runs.
+    """
+    return hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()

@@ -28,12 +28,12 @@ Two properties make the fan-out safe:
 from __future__ import annotations
 
 import hashlib
-import json
 from dataclasses import dataclass
 from typing import Any, Dict, Tuple
 
 import numpy as np
 
+from .._hashing import canonical_json, content_hash
 from ..exceptions import CampaignError
 
 __all__ = ["CampaignCell", "cell_rng", "resolve_root_seed", "stable_entropy"]
@@ -109,11 +109,11 @@ class CampaignCell:
 
     def config_json(self) -> str:
         """Canonical JSON encoding of :meth:`config`."""
-        return json.dumps(self.config(), sort_keys=True, separators=(",", ":"))
+        return canonical_json(self.config())
 
     def cache_key(self) -> str:
         """Content hash naming this cell's entry in the result cache."""
-        return hashlib.sha256(self.config_json().encode("utf-8")).hexdigest()
+        return content_hash(self.config())
 
 def _as_hashable(value: Any) -> Any:
     """Recursively convert lists into tuples so cells stay hashable."""

@@ -14,8 +14,18 @@ regenerates the paper's tables and figures from a terminal:
 * ``scenario`` — list the registered dynamic-platform scenarios, or run
   one on a small platform and compare the seven heuristics under it (every
   schedule is re-checked by ``Schedule.validate``).
+* ``serve`` — the scheduling service: a JSONL request/response loop over
+  stdin/stdout with request canonicalization, an LRU result cache,
+  duplicate coalescing, admission control and a process-pool fan-out whose
+  response stream is byte-identical for any ``--workers`` value.
+* ``request`` — build one schedule request from flags and either execute
+  it through the service pipeline (one response line on stdout) or
+  ``--emit`` it as a JSONL line to feed into ``repro serve``.
 * ``demo`` — a single small run with an ASCII Gantt chart, useful as a
   smoke test of the engine and of one scheduler.
+
+``repro --version`` prints the package version (single-sourced from
+``repro.__version__``).
 """
 
 from __future__ import annotations
@@ -24,9 +34,11 @@ import argparse
 import sys
 from typing import List, Optional
 
+from . import __version__
+from ._hashing import canonical_json
 from .campaigns.cache import CampaignCache
 from .core.engine import simulate
-from .exceptions import ScenarioError
+from .exceptions import RequestValidationError, ScenarioError
 from .core.metrics import evaluate
 from .core.platform import Platform
 from .core.trace import render_ascii_gantt
@@ -43,6 +55,10 @@ from .experiments.sweep import run_heterogeneity_sweep
 from .experiments.table1 import run_table1
 from .scenarios import available_scenarios, create_scenario
 from .schedulers.base import PAPER_HEURISTICS, available_schedulers, create_scheduler
+from .service.cache import LRUResultCache
+from .service.dispatcher import ScheduleService
+from .service.schema import RELEASE_PROCESSES, canonicalize_request
+from .service.server import response_line, serve_stream
 from .workloads.release import all_at_zero
 
 __all__ = ["build_parser", "main"]
@@ -55,6 +71,20 @@ def _nonnegative_int(text: str) -> int:
     return value
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    value = float(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
+    return value
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
@@ -63,6 +93,12 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduction of 'The impact of heterogeneity on master-slave "
             "on-line scheduling' (Pineau, Robert, Vivien, IPPS 2006)."
         ),
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"repro-scheduling {__version__}",
+        help="print the package version and exit",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -199,6 +235,125 @@ def build_parser() -> argparse.ArgumentParser:
     )
     scenario.add_argument(
         "--comp", type=float, nargs="+", default=[1.0, 2.0, 4.0], help="p_j per worker"
+    )
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run the scheduling service as a JSONL request loop on stdin/stdout",
+        description=(
+            "Read one JSON schedule request per stdin line, write one JSON "
+            "response per stdout line, in submission order.  Requests are "
+            "canonicalized (semantically equal requests share one cache "
+            "key), served from a bounded LRU result cache when possible, "
+            "coalesced when identical requests are in flight, and fanned "
+            "out over a process pool.  The response stream is byte-identical "
+            "for any --workers value; statistics go to stderr."
+        ),
+    )
+    serve.add_argument(
+        "--workers",
+        type=_nonnegative_int,
+        default=1,
+        help="process-pool width for a batch's unique simulations (1 = serial, 0 = all CPUs)",
+    )
+    serve.add_argument(
+        "--batch-size",
+        type=_positive_int,
+        default=16,
+        help="queued requests resolved per dispatch round",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=_positive_int,
+        default=256,
+        help="admission bound on pending requests (see docs/SERVICE.md)",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=_nonnegative_int,
+        default=1024,
+        help="LRU result cache capacity (0 disables caching)",
+    )
+    serve.add_argument(
+        "--ttl",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="result cache time-to-live (default: entries never expire)",
+    )
+    serve.add_argument(
+        "--max-cost",
+        type=_positive_int,
+        default=None,
+        metavar="COST",
+        help="admission budget on tasks x workers per request (default: unbounded)",
+    )
+    serve.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the statistics summary on stderr",
+    )
+
+    request = subparsers.add_parser(
+        "request",
+        help="build one schedule request and execute it (or --emit it as JSONL)",
+        description=(
+            "Assemble a schedule request from flags, run it through the "
+            "same validate/canonicalize/execute pipeline as the service, "
+            "and print the JSON response on stdout.  With --emit, print "
+            "the request itself as one JSONL line instead — ready to pipe "
+            "into 'repro serve'."
+        ),
+    )
+    request.add_argument(
+        "--scheduler",
+        default="LS",
+        type=str.upper,
+        choices=available_schedulers(),
+        help="scheduler to request (case-insensitive)",
+    )
+    request.add_argument(
+        "--comm", type=float, nargs="+", default=[0.2, 0.5, 1.0], help="c_j per worker"
+    )
+    request.add_argument(
+        "--comp", type=float, nargs="+", default=[1.0, 2.0, 4.0], help="p_j per worker"
+    )
+    request.add_argument("--tasks", type=_positive_int, default=100, help="tasks to schedule")
+    request.add_argument(
+        "--process",
+        default="all-at-zero",
+        choices=sorted(RELEASE_PROCESSES),
+        help="release process of the task bag",
+    )
+    request.add_argument(
+        "--rate", type=float, default=None, help="poisson only: arrival rate"
+    )
+    request.add_argument(
+        "--horizon", type=float, default=None, help="uniform only: release window"
+    )
+    request.add_argument(
+        "--burst-size", type=int, default=None, help="bursty only: tasks per burst"
+    )
+    request.add_argument(
+        "--gap", type=float, default=None, help="bursty only: idle time between bursts"
+    )
+    request.add_argument(
+        "--jitter", type=float, default=None, help="bursty only: per-release jitter"
+    )
+    request.add_argument(
+        "--load-factor",
+        type=float,
+        default=None,
+        help="saturating only: multiple of the platform's sustainable rate",
+    )
+    request.add_argument("--seed", type=_nonnegative_int, default=0, help="request seed")
+    request.add_argument(
+        "--id", default=None, metavar="ID", help="correlation id echoed in the response"
+    )
+    request.add_argument(
+        "--emit",
+        action="store_true",
+        help="print the request as a JSONL line instead of executing it",
     )
 
     demo = subparsers.add_parser("demo", help="run one scheduler and print a Gantt chart")
@@ -352,6 +507,75 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    if args.max_queue < args.batch_size:
+        print(
+            f"error: --max-queue ({args.max_queue}) must be >= "
+            f"--batch-size ({args.batch_size})",
+            file=sys.stderr,
+        )
+        return 2
+    cache = LRUResultCache(max_entries=args.cache_size, ttl=args.ttl) if args.cache_size else None
+    with ScheduleService(
+        workers=args.workers,
+        batch_size=args.batch_size,
+        max_queue=args.max_queue,
+        cache=cache,
+        max_cost=args.max_cost,
+    ) as service:
+        serve_stream(
+            sys.stdin, service, sys.stdout, err=None if args.quiet else sys.stderr
+        )
+    return 0
+
+
+def _request_payload(args: argparse.Namespace) -> dict:
+    """Assemble the raw request mapping described by the CLI flags."""
+    tasks: dict = {"process": args.process, "n": args.tasks}
+    for flag, field in (
+        ("rate", "rate"),
+        ("horizon", "horizon"),
+        ("burst_size", "burst_size"),
+        ("gap", "gap"),
+        ("jitter", "jitter"),
+        ("load_factor", "load_factor"),
+    ):
+        value = getattr(args, flag)
+        if value is not None:
+            tasks[field] = value
+    payload = {
+        "platform": {"comm": args.comm, "comp": args.comp},
+        "tasks": tasks,
+        "scheduler": args.scheduler,
+        "seed": args.seed,
+    }
+    if args.id is not None:
+        payload["id"] = args.id
+    return payload
+
+
+def _cmd_request(args: argparse.Namespace) -> int:
+    payload = _request_payload(args)
+    if args.emit:
+        # Validate before emitting, so a malformed flag combination fails
+        # here (exit 2) instead of as a downstream error response.
+        try:
+            canonicalize_request(payload)
+        except RequestValidationError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(canonical_json(payload))
+        return 0
+    with ScheduleService(workers=1, batch_size=1, max_queue=1) as service:
+        service.submit(payload)
+        (response,) = service.drain()
+    print(response_line(response))
+    if response["status"] != "ok":
+        print(f"error: {response['error']['message']}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     if len(args.comm) != len(args.comp):
         print("error: --comm and --comp must have the same length", file=sys.stderr)
@@ -381,6 +605,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figure2": _cmd_figure2,
         "campaign": _cmd_campaign,
         "scenario": _cmd_scenario,
+        "serve": _cmd_serve,
+        "request": _cmd_request,
         "demo": _cmd_demo,
     }
     return handlers[args.command](args)

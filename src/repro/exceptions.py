@@ -57,6 +57,26 @@ class CampaignError(ReproError):
     experiment, corrupt cache entry, invalid worker count, ...)."""
 
 
+class ServiceError(ReproError):
+    """Base class for errors raised by the :mod:`repro.service` subsystem
+    (invalid configuration of the service itself, misuse of the dispatcher
+    API, ...)."""
+
+
+class RequestValidationError(ServiceError):
+    """Raised when a :class:`~repro.service.schema.ScheduleRequest` cannot be
+    built from a raw payload (unknown schema version, missing or malformed
+    field, unknown scheduler or release process, out-of-range parameter).
+    The service maps this to a ``status: "error"`` response instead of
+    crashing the request loop."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Raised (and mapped to a ``status: "rejected"`` response) when
+    admission control sheds a request: the bounded queue is full, or the
+    request's estimated simulation cost exceeds the configured budget."""
+
+
 class ScenarioError(ReproError):
     """Raised when a scenario or platform timeline is invalid (unknown
     scenario name, event targeting a non-existent worker, non-positive speed

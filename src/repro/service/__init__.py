@@ -1,0 +1,55 @@
+"""Scheduling-as-a-service layer.
+
+The paper's heuristics are pure decision procedures; this package turns the
+one-shot simulation pipeline (platform + scheduler + task bag → metrics)
+into a high-throughput request/response **service**, the first step of the
+ROADMAP's "serve heavy traffic" north star.  Five pieces compose:
+
+* :mod:`~repro.service.schema` — the versioned JSON request schema and the
+  **canonicalizer** that maps semantically-equal requests onto one
+  content-hash key (the same discipline as the campaign cache);
+* :mod:`~repro.service.cache` — a bounded **LRU result cache** with
+  optional TTL and hit/miss statistics;
+* :mod:`~repro.service.executor` — the pure compute kernel: one canonical
+  configuration in, one metrics payload out, deterministically seeded;
+* :mod:`~repro.service.dispatcher` — the batching **dispatcher** with
+  admission control (bounded queue + cost budget, typed load-shedding),
+  duplicate coalescing, and a process-pool fan-out whose response stream is
+  byte-identical for any worker count;
+* :mod:`~repro.service.server` — the JSONL stdin/stdout request loop
+  behind ``repro serve``.
+
+See ``docs/SERVICE.md`` for the request schema and the determinism/caching
+contract.
+"""
+
+from __future__ import annotations
+
+from .cache import LRUResultCache
+from .dispatcher import ScheduleService, ServiceStats
+from .executor import execute_config, execute_request, request_rng
+from .schema import (
+    RELEASE_PROCESSES,
+    SCHEMA_VERSION,
+    ScheduleRequest,
+    build_tasks,
+    canonicalize_request,
+)
+from .server import response_line, serve_lines, serve_stream
+
+__all__ = [
+    "LRUResultCache",
+    "RELEASE_PROCESSES",
+    "SCHEMA_VERSION",
+    "ScheduleRequest",
+    "ScheduleService",
+    "ServiceStats",
+    "build_tasks",
+    "canonicalize_request",
+    "execute_config",
+    "execute_request",
+    "request_rng",
+    "response_line",
+    "serve_lines",
+    "serve_stream",
+]

@@ -1,0 +1,127 @@
+"""Bounded in-memory LRU result cache for the scheduling service.
+
+Maps canonical request keys (see :mod:`repro.service.schema`) to finished
+response payloads.  Two bounds keep a long-running service healthy:
+
+* **size** — at most ``max_entries`` results are retained; inserting into a
+  full cache evicts the least-recently-used entry (a :meth:`get` hit counts
+  as use);
+* **age** — with a ``ttl``, entries older than ``ttl`` seconds are treated
+  as absent and dropped on access, so a service that recycles keys slowly
+  does not pin stale results forever.
+
+The cache deliberately stores *responses*, not simulations: because every
+response is a pure function of its canonical request (the service
+determinism contract, ``docs/SERVICE.md``), a hit and a recompute are
+byte-identical — caching changes latency and the hit/miss statistics on
+stderr, never the response stream on stdout.
+
+The clock is injectable (``clock=`` takes any zero-argument callable
+returning seconds) so TTL behaviour is testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from ..exceptions import ServiceError
+
+__all__ = ["LRUResultCache"]
+
+
+class LRUResultCache:
+    """Size- and age-bounded mapping from request keys to cached results."""
+
+    def __init__(
+        self,
+        max_entries: int = 1024,
+        ttl: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_entries <= 0:
+            raise ServiceError(f"max_entries must be positive, got {max_entries}")
+        if ttl is not None and ttl <= 0:
+            raise ServiceError(f"ttl must be positive (or None), got {ttl}")
+        self.max_entries = max_entries
+        self.ttl = ttl
+        self._clock = clock
+        #: key -> (stored_at, value); insertion/refresh order = LRU order.
+        self._entries: "OrderedDict[str, Tuple[float, Any]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.expirations = 0
+
+    def get(self, key: str) -> Optional[Any]:
+        """Return the cached value for ``key``, or ``None`` on miss/expiry."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        stored_at, value = entry
+        if self.ttl is not None and self._clock() - stored_at > self.ttl:
+            del self._entries[key]
+            self.expirations += 1
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        """Insert (or refresh) one result, evicting the LRU entry if full."""
+        if key in self._entries:
+            del self._entries[key]
+        elif len(self._entries) >= self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        self._entries[key] = (self._clock(), value)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        """TTL-aware membership: an expired entry is already absent.
+
+        Unlike :meth:`get`, never mutates the cache or the hit/miss
+        counters, so ``key in cache`` agrees with what a subsequent
+        :meth:`get` would find without perturbing the statistics.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            return False
+        if self.ttl is not None and self._clock() - entry[0] > self.ttl:
+            return False
+        return True
+
+    def keys(self) -> Tuple[str, ...]:
+        """Resident keys in LRU order (least recently used first).
+
+        Residency, not liveness: entries past their TTL stay listed until
+        an access collects them.
+        """
+        return tuple(self._entries)
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were removed."""
+        removed = len(self._entries)
+        self._entries.clear()
+        return removed
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss/eviction/expiration counters plus the current size."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "expirations": self.expirations,
+            "size": len(self._entries),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"LRUResultCache(size={len(self)}/{self.max_entries}, "
+            f"ttl={self.ttl}, hits={self.hits}, misses={self.misses})"
+        )

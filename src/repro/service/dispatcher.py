@@ -1,0 +1,369 @@
+"""Batching dispatcher: the serving core of ``repro.service``.
+
+:class:`ScheduleService` turns the one-shot simulation pipeline
+(platform + scheduler + task bag → metrics) into a request/response
+service:
+
+1. :meth:`~ScheduleService.submit` validates and canonicalizes one raw
+   request and appends it to a bounded FIFO queue.  **Admission control**
+   happens here: a full queue, or a request whose estimated cost
+   (``n_tasks * n_workers``) exceeds the configured budget, is *shed* — it
+   still gets exactly one response, a typed ``service-overloaded``
+   rejection, so clients never hang on a dropped request.  Malformed
+   requests likewise resolve immediately to ``request-invalid`` responses.
+2. :meth:`~ScheduleService.pump` takes the oldest batch off the queue,
+   serves what the :class:`~repro.service.cache.LRUResultCache` already
+   knows, **coalesces** duplicate in-flight requests (several queued
+   requests with one canonical key run one simulation), and fans the
+   remaining unique configurations out over a persistent process pool
+   (``workers > 1``) or runs them inline (``workers <= 1``).
+3. Responses come back **strictly in submission order**, one per request.
+
+Determinism contract (mirrors the campaign runner): every response is a
+pure function of its canonical request, so the response *stream* is a pure
+function of the request stream and the pump schedule.  Worker count, cache
+state, coalescing and TTL expiry change only latency and the statistics —
+``--workers 4`` and ``--workers 1`` produce byte-identical stdout.
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Union
+
+from ..exceptions import (
+    RequestValidationError,
+    ServiceError,
+    ServiceOverloadedError,
+)
+from .cache import LRUResultCache
+from .executor import execute_config, execute_request
+from .schema import SCHEMA_VERSION, ScheduleRequest, canonicalize_request
+
+__all__ = ["ServiceStats", "ScheduleService"]
+
+
+@dataclass
+class ServiceStats:
+    """Execution counters of one :class:`ScheduleService` lifetime."""
+
+    #: Requests submitted (valid or not).
+    received: int = 0
+    #: Responses produced (exactly one per received request, eventually).
+    responded: int = 0
+    #: ``status: "ok"`` responses.
+    ok: int = 0
+    #: ``request-invalid`` error responses.
+    invalid: int = 0
+    #: ``service-overloaded`` rejections (admission control).
+    rejected: int = 0
+    #: ``execution-error`` responses (the simulation itself raised).
+    failed: int = 0
+    #: Simulations actually run.
+    simulations: int = 0
+    #: Requests answered by an in-flight duplicate's simulation.
+    coalesced: int = 0
+    #: Requests answered straight from the result cache.
+    cache_hits: int = 0
+    #: Requests that had to go to the compute stage.
+    cache_misses: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """The counters as a plain dict (stderr summary, tests)."""
+        return dict(vars(self))
+
+    def summary(self) -> str:
+        """One human-readable stderr line."""
+        return (
+            f"service: {self.received} request(s) -> {self.ok} ok, "
+            f"{self.invalid} invalid, {self.rejected} rejected, "
+            f"{self.failed} failed; {self.simulations} simulation(s), "
+            f"{self.coalesced} coalesced, {self.cache_hits} cache hit(s), "
+            f"{self.cache_misses} miss(es)"
+        )
+
+
+@dataclass
+class _Entry:
+    """One queue slot: an unresolved request or an already-resolved response.
+
+    The queue list itself is kept in submission order, which is all the
+    ordering bookkeeping responses need.
+    """
+
+    request: Optional[ScheduleRequest] = None
+    response: Optional[Dict[str, Any]] = None
+
+
+def _error_body(kind: str, message: str) -> Dict[str, Any]:
+    return {"type": kind, "message": message}
+
+
+class ScheduleService:
+    """Request/response façade over the simulation pipeline.
+
+    Parameters
+    ----------
+    workers:
+        Process-pool width for a batch's unique simulations. ``1`` runs
+        inline (serial); ``0`` means all CPUs, the campaign convention.  A
+        batch with a single unique configuration always runs inline — a
+        pool round-trip cannot beat one direct call.
+    batch_size:
+        How many queued requests one :meth:`pump` resolves.
+    max_queue:
+        Admission bound on *unresolved* queued requests; submissions beyond
+        it are shed with a ``service-overloaded`` response.  Must be at
+        least ``batch_size``.
+    cache:
+        Optional :class:`~repro.service.cache.LRUResultCache` consulted
+        before, and fed after, every simulation.
+    max_cost:
+        Optional per-request budget on ``n_tasks * n_workers``; costlier
+        requests are shed at submission.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        batch_size: int = 16,
+        max_queue: int = 256,
+        cache: Optional[LRUResultCache] = None,
+        max_cost: Optional[int] = None,
+    ) -> None:
+        if workers < 0:
+            raise ServiceError(f"workers must be >= 0, got {workers}")
+        if batch_size < 1:
+            raise ServiceError(f"batch_size must be >= 1, got {batch_size}")
+        if max_queue < batch_size:
+            raise ServiceError(
+                f"max_queue ({max_queue}) must be >= batch_size ({batch_size})"
+            )
+        if max_cost is not None and max_cost <= 0:
+            raise ServiceError(f"max_cost must be positive (or None), got {max_cost}")
+        self.workers = workers
+        self.batch_size = batch_size
+        self.max_queue = max_queue
+        self.cache = cache
+        self.max_cost = max_cost
+        self.stats = ServiceStats()
+        self._entries: List[_Entry] = []
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    # -- submission / admission ---------------------------------------------
+    def submit(self, raw: Union[str, bytes, Mapping[str, Any]]) -> None:
+        """Accept one raw request (JSONL line or already-parsed mapping).
+
+        Never raises on bad input: malformed or shed requests are queued as
+        pre-resolved error/rejection responses so the output stream stays
+        one response per request, in order.
+        """
+        self.stats.received += 1
+        request_id: Optional[str] = None
+        try:
+            if isinstance(raw, (str, bytes)):
+                try:
+                    payload = json.loads(raw)
+                except json.JSONDecodeError as exc:
+                    raise RequestValidationError(f"request is not valid JSON: {exc}")
+            else:
+                payload = raw
+            if isinstance(payload, Mapping) and isinstance(payload.get("id"), str):
+                request_id = payload["id"]
+            request = canonicalize_request(payload)
+        except RequestValidationError as exc:
+            self.stats.invalid += 1
+            self._entries.append(
+                _Entry(
+                    response=self._response(
+                        "error", request_id, error=_error_body("request-invalid", str(exc))
+                    )
+                )
+            )
+            return
+
+        try:
+            self._check_admission(request)
+        except ServiceOverloadedError as exc:
+            self.stats.rejected += 1
+            self._entries.append(
+                _Entry(
+                    response=self._response(
+                        "rejected",
+                        request.request_id,
+                        error=_error_body("service-overloaded", str(exc)),
+                    )
+                )
+            )
+            return
+
+        self._entries.append(_Entry(request=request))
+
+    def _check_admission(self, request: ScheduleRequest) -> None:
+        """Raise :class:`~repro.exceptions.ServiceOverloadedError` on shed."""
+        if self.pending >= self.max_queue:
+            raise ServiceOverloadedError(
+                f"queue full ({self.pending}/{self.max_queue} requests "
+                "pending); retry later"
+            )
+        if self.max_cost is not None and request.cost > self.max_cost:
+            raise ServiceOverloadedError(
+                f"request cost {request.cost} (tasks x workers) exceeds the "
+                f"admission budget {self.max_cost}"
+            )
+
+    @property
+    def pending(self) -> int:
+        """Unresolved queued requests (the admission-controlled backlog)."""
+        return sum(1 for entry in self._entries if entry.response is None)
+
+    @property
+    def buffered(self) -> int:
+        """Queued entries of any kind, including pre-resolved responses."""
+        return len(self._entries)
+
+    def ready(self) -> bool:
+        """True when a full batch is queued and :meth:`pump` should run."""
+        return len(self._entries) >= self.batch_size
+
+    # -- execution ----------------------------------------------------------
+    def pump(self) -> List[Dict[str, Any]]:
+        """Resolve the oldest batch; responses in submission order."""
+        batch, self._entries = (
+            self._entries[: self.batch_size],
+            self._entries[self.batch_size:],
+        )
+        if not batch:
+            return []
+
+        # 1. cache pass + coalescing groups (first occurrence is primary)
+        groups: "Dict[str, List[_Entry]]" = {}
+        for entry in batch:
+            if entry.response is not None:
+                continue
+            request = entry.request
+            assert request is not None
+            cached = self.cache.get(request.key) if self.cache is not None else None
+            if cached is not None:
+                self.stats.cache_hits += 1
+                # Fresh copy per response: a caller mutating its response
+                # must never rewrite the cached value or a sibling's view.
+                entry.response = self._response(
+                    "ok", request.request_id, key=request.key, metrics=dict(cached)
+                )
+                self.stats.ok += 1
+            else:
+                self.stats.cache_misses += 1
+                groups.setdefault(request.key, []).append(entry)
+
+        # 2. one simulation per unique canonical key
+        results = self._run_unique({k: v[0].request for k, v in groups.items()})
+
+        # 3. fan results back out to every coalesced duplicate
+        for key, entries in groups.items():
+            result = results[key]
+            self.stats.coalesced += len(entries) - 1
+            if isinstance(result, Exception):
+                for entry in entries:
+                    assert entry.request is not None
+                    entry.response = self._response(
+                        "error",
+                        entry.request.request_id,
+                        key=key,
+                        error=_error_body("execution-error", str(result)),
+                    )
+                    self.stats.failed += 1
+            else:
+                if self.cache is not None:
+                    self.cache.put(key, dict(result))
+                for entry in entries:
+                    assert entry.request is not None
+                    entry.response = self._response(
+                        "ok", entry.request.request_id, key=key, metrics=dict(result)
+                    )
+                    self.stats.ok += 1
+
+        responses = []
+        for entry in batch:
+            assert entry.response is not None
+            responses.append(entry.response)
+        self.stats.responded += len(responses)
+        return responses
+
+    def drain(self) -> List[Dict[str, Any]]:
+        """Pump until the queue is empty; all responses in order."""
+        responses: List[Dict[str, Any]] = []
+        while self._entries:
+            responses.extend(self.pump())
+        return responses
+
+    def _run_unique(
+        self, primaries: Mapping[str, Optional[ScheduleRequest]]
+    ) -> Dict[str, Any]:
+        """Execute one simulation per key; values are metrics or the error.
+
+        Catches *any* exception — not just :class:`~repro.exceptions.ReproError`
+        — because the one-response-per-request invariant must survive even a
+        broken worker process (``BrokenProcessPool``) or an engine bug: the
+        failure becomes that key's ``execution-error`` response instead of
+        tearing down the serve loop and dropping every queued request.
+        """
+        results: Dict[str, Any] = {}
+        if not primaries:
+            return results
+        self.stats.simulations += len(primaries)
+        if self.workers == 1 or len(primaries) == 1:
+            for key, request in primaries.items():
+                assert request is not None
+                try:
+                    results[key] = execute_request(request)
+                except Exception as exc:  # noqa: BLE001 - mapped to a response
+                    results[key] = exc
+        else:
+            pool = self._ensure_pool()
+            futures = {
+                key: pool.submit(execute_config, dict(request.config))
+                for key, request in primaries.items()
+                if request is not None
+            }
+            for key, future in futures.items():
+                try:
+                    results[key] = future.result()
+                except Exception as exc:  # noqa: BLE001 - mapped to a response
+                    results[key] = exc
+        return results
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            # workers == 0 mirrors the campaign convention: all CPUs,
+            # resolved by the pool itself.
+            self._pool = ProcessPoolExecutor(max_workers=self.workers or None)
+        return self._pool
+
+    def _response(
+        self, status: str, request_id: Optional[str], **extra: Any
+    ) -> Dict[str, Any]:
+        response: Dict[str, Any] = {
+            "schema_version": SCHEMA_VERSION,
+            "status": status,
+            "id": request_id,
+        }
+        response.update(extra)
+        return response
+
+    # -- lifecycle ----------------------------------------------------------
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ScheduleService":
+        """Context-manager entry: the service itself."""
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        """Context-manager exit: close the worker pool."""
+        self.close()

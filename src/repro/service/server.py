@@ -1,0 +1,87 @@
+"""JSONL request loop — the transport behind ``repro serve``.
+
+The service speaks the simplest transport that composes under a shell pipe:
+one request per input line, one response per output line, in submission
+order.  :func:`serve_lines` is the whole loop; the CLI merely binds it to
+``sys.stdin``/``sys.stdout`` and prints the final statistics to stderr.
+
+Response encoding is pinned to :func:`repro._hashing.canonical_json`
+(sorted keys, no insignificant whitespace) so the stdout stream is
+byte-comparable across runs, worker counts and cache states — the service
+determinism contract is checked in CI with a literal ``cmp``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, IO, Iterable, Optional
+
+from .._hashing import canonical_json
+from .dispatcher import ScheduleService
+
+__all__ = ["response_line", "serve_lines", "serve_stream"]
+
+
+def response_line(response: Dict[str, Any]) -> str:
+    """Encode one response dict as its canonical JSONL line (no newline)."""
+    return canonical_json(response)
+
+
+def serve_lines(
+    lines: Iterable[str],
+    service: ScheduleService,
+    out: IO[str],
+    flush_every_batch: bool = True,
+) -> int:
+    """Run the request loop: read JSONL requests, write JSONL responses.
+
+    Blank lines are ignored (so hand-written request files can be spaced
+    for readability); everything else — including malformed JSON — is
+    submitted and resolves to exactly one response line.  Batches are
+    pumped as soon as they fill, and the queue is drained when the input
+    ends, so the stream never loses a response.  Returns the number of
+    responses written.
+    """
+    written = 0
+    for line in lines:
+        if not line.strip():
+            continue
+        service.submit(line)
+        while service.ready():
+            for response in service.pump():
+                out.write(response_line(response) + "\n")
+                written += 1
+            if flush_every_batch:
+                out.flush()
+    for response in service.drain():
+        out.write(response_line(response) + "\n")
+        written += 1
+    out.flush()
+    return written
+
+
+def serve_stream(
+    stream: IO[str],
+    service: ScheduleService,
+    out: IO[str],
+    err: Optional[IO[str]] = None,
+) -> int:
+    """Serve an open text stream and, optionally, summarise on ``err``.
+
+    Thin convenience over :func:`serve_lines` for the CLI: binds the loop
+    to file objects and prints the one-line
+    :meth:`~repro.service.dispatcher.ServiceStats.summary` plus the cache
+    statistics when an error stream is given.
+    """
+    written = serve_lines(stream, service, out)
+    if err is not None:
+        print(service.stats.summary(), file=err)
+        if service.cache is not None:
+            cache = service.cache.stats()
+            print(
+                f"cache: {cache['hits']} hit(s), {cache['misses']} miss(es), "
+                f"{cache['evictions']} eviction(s), "
+                f"{cache['expirations']} expiration(s), "
+                f"{cache['size']} resident",
+                file=err,
+            )
+    return written

@@ -2,6 +2,9 @@
 
 from __future__ import annotations
 
+import io
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -93,6 +96,119 @@ class TestMain:
     def test_campaign_table1(self, capsys):
         assert main(["campaign", "table1"]) == 0
         assert "communication-homogeneous" in capsys.readouterr().out
+
+
+class TestVersionFlag:
+    def test_version_is_single_sourced_from_the_package(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro-scheduling {__version__}"
+
+
+class TestServeCommand:
+    def test_parser_accepts_serve_options(self):
+        args = build_parser().parse_args(
+            ["serve", "--workers", "4", "--batch-size", "8", "--max-queue", "64",
+             "--cache-size", "100", "--ttl", "30", "--max-cost", "5000", "--quiet"]
+        )
+        assert args.command == "serve"
+        assert args.workers == 4
+        assert args.batch_size == 8
+        assert args.cache_size == 100
+        assert args.ttl == 30.0
+        assert args.max_cost == 5000
+        assert args.quiet is True
+
+    def test_parser_rejects_bad_bounds(self):
+        for argv in (["serve", "--batch-size", "0"], ["serve", "--ttl", "-1"]):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(argv)
+
+    def test_max_queue_below_batch_size_fails_cleanly(self, capsys):
+        assert main(["serve", "--max-queue", "8"]) == 2  # default batch is 16
+        assert "--max-queue" in capsys.readouterr().err
+
+    def _request_line(self, seed=0, **extra):
+        payload = {
+            "platform": {"comm": [0.2, 0.5], "comp": [1.0, 2.0]},
+            "tasks": 10,
+            "scheduler": "LS",
+            "seed": seed,
+        }
+        payload.update(extra)
+        return json.dumps(payload)
+
+    def test_serve_round_trip_on_stdin_stdout(self, capsys, monkeypatch):
+        stream = "\n".join(
+            [self._request_line(seed=0, id="a"), "not json",
+             self._request_line(seed=0, id="b")]
+        )
+        monkeypatch.setattr("sys.stdin", io.StringIO(stream + "\n"))
+        assert main(["serve"]) == 0
+        captured = capsys.readouterr()
+        responses = [json.loads(line) for line in captured.out.splitlines()]
+        assert [r["status"] for r in responses] == ["ok", "error", "ok"]
+        assert responses[0]["metrics"] == responses[2]["metrics"]
+        assert "service: 3 request(s)" in captured.err
+
+    def test_serve_quiet_suppresses_stderr(self, capsys, monkeypatch):
+        monkeypatch.setattr("sys.stdin", io.StringIO(self._request_line() + "\n"))
+        assert main(["serve", "--quiet"]) == 0
+        assert capsys.readouterr().err == ""
+
+    def test_serve_workers_match_serial_byte_for_byte(self, capsys, monkeypatch):
+        stream = "\n".join(self._request_line(seed=s % 3) for s in range(8)) + "\n"
+        outputs = []
+        for workers in ("2", "1"):
+            monkeypatch.setattr("sys.stdin", io.StringIO(stream))
+            assert main(["serve", "--workers", workers, "--quiet"]) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] == outputs[1]
+
+
+class TestRequestCommand:
+    def test_parser_accepts_request_options(self):
+        args = build_parser().parse_args(
+            ["request", "--scheduler", "srpt", "--tasks", "40", "--process",
+             "poisson", "--rate", "2.0", "--seed", "9", "--id", "r1"]
+        )
+        assert args.command == "request"
+        assert args.scheduler == "SRPT"  # case-folded by the parser
+        assert args.process == "poisson"
+        assert args.rate == 2.0
+
+    def test_request_executes_and_prints_one_response(self, capsys):
+        assert main(["request", "--tasks", "12", "--id", "r1"]) == 0
+        response = json.loads(capsys.readouterr().out)
+        assert response["status"] == "ok"
+        assert response["id"] == "r1"
+        assert response["metrics"]["n_tasks"] == 12.0
+
+    def test_request_emit_produces_a_servable_line(self, capsys, monkeypatch):
+        assert main(["request", "--emit", "--tasks", "12", "--id", "r1"]) == 0
+        line = capsys.readouterr().out
+        monkeypatch.setattr("sys.stdin", io.StringIO(line))
+        assert main(["serve", "--quiet"]) == 0
+        response = json.loads(capsys.readouterr().out)
+        assert response["status"] == "ok"
+        assert response["id"] == "r1"
+
+    def test_request_emit_validates_before_emitting(self, capsys):
+        # poisson without --rate must fail at emit time, not downstream.
+        assert main(["request", "--emit", "--process", "poisson"]) == 2
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "requires field 'rate'" in captured.err
+
+    def test_request_invalid_parameters_fail_cleanly(self, capsys):
+        # poisson without --rate: schema validation rejects the request.
+        assert main(["request", "--process", "poisson"]) == 2
+        captured = capsys.readouterr()
+        assert json.loads(captured.out)["status"] == "error"
+        assert "requires field 'rate'" in captured.err
 
 
 class TestScenarioCommand:

@@ -1,0 +1,95 @@
+"""Tests for the shared content-hashing core (:mod:`repro._hashing`).
+
+The most important tests here are the **pinned keys**: the exact SHA-256
+cache keys of known campaign cells and service requests are hardcoded, so
+any change to the canonical encoding — which would silently invalidate
+every on-disk campaign cache and every service result cache — fails the
+tier-1 suite instead of shipping.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro._hashing import canonical_json, content_hash
+from repro.campaigns.grid import CampaignCell
+from repro.service.schema import canonicalize_request
+
+
+class TestCanonicalJson:
+    def test_sorts_keys_and_strips_whitespace(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+    def test_key_order_never_matters(self):
+        assert canonical_json({"x": 1, "y": 2}) == canonical_json({"y": 2, "x": 1})
+
+    def test_nested_structures(self):
+        value = {"outer": {"z": 0, "a": [True, None, "s"]}}
+        assert canonical_json(value) == '{"outer":{"a":[true,null,"s"],"z":0}}'
+
+    def test_round_trips_through_json(self):
+        value = {"a": [1, 2.5, "x"], "b": {"c": None}}
+        assert json.loads(canonical_json(value)) == value
+
+
+class TestContentHash:
+    def test_is_sha256_of_canonical_json(self):
+        value = {"k": [1, 2, 3]}
+        expected = hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()
+        assert content_hash(value) == expected
+
+    def test_equal_values_share_a_key(self):
+        assert content_hash({"a": 1, "b": 2}) == content_hash({"b": 2, "a": 1})
+
+    def test_any_semantic_change_changes_the_key(self):
+        base = content_hash({"a": 1})
+        assert content_hash({"a": 2}) != base
+        assert content_hash({"a": 1, "b": 0}) != base
+
+
+class TestPinnedCampaignKeys:
+    """Old on-disk campaign caches must stay valid across refactors."""
+
+    def test_figure1_cell_key_is_pinned(self):
+        cell = CampaignCell.make(
+            "figure1", 0, panel="1a", platform_index=0, n_tasks=30, root_seed=2006
+        )
+        assert cell.config_json() == (
+            '{"experiment":"figure1","params":'
+            '{"n_tasks":30,"panel":"1a","platform_index":0,"root_seed":2006}}'
+        )
+        assert cell.cache_key() == (
+            "38763ca5673b567659a62b236dd30d966b5e55794a73b10d1f0c1b8cba702e54"
+        )
+
+    def test_table1_cell_key_is_pinned(self):
+        cell = CampaignCell.make("table1", 3, game="comm-homog", root_seed=7)
+        assert cell.cache_key() == (
+            "1df742a7fc13ec368baa73f7900e3bf75f829547f45678f58ebf856a48310a4c"
+        )
+
+    def test_cell_key_matches_direct_hash(self):
+        cell = CampaignCell.make("sweep", 1, factor=2.0, root_seed=1)
+        assert cell.cache_key() == content_hash(cell.config())
+
+
+class TestPinnedServiceKeys:
+    def test_request_key_is_pinned(self):
+        request = canonicalize_request(
+            {
+                "platform": {"comm": [0.2, 0.5], "comp": [1.0, 2.0]},
+                "tasks": 20,
+                "scheduler": "ls",
+                "seed": 3,
+            }
+        )
+        assert request.config_json() == (
+            '{"platform":{"comm":[0.2,0.5],"comp":[1.0,2.0]},"scheduler":"LS",'
+            '"schema_version":1,"seed":3,"tasks":{"n":20,"process":"all-at-zero"}}'
+        )
+        assert request.key == (
+            "4294845e0187248f3525c570fd56063aec86f3251611e7efb837a12d3f828b1f"
+        )

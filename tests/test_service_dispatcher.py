@@ -1,0 +1,250 @@
+"""Tests for the batching dispatcher (:mod:`repro.service.dispatcher`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service.cache import LRUResultCache
+from repro.service.dispatcher import ScheduleService
+from repro.service.executor import execute_request
+from repro.service.schema import canonicalize_request
+
+
+def make_request(seed=0, tasks=10, scheduler="LS", **extra):
+    """One small raw request payload."""
+    payload = {
+        "platform": {"comm": [0.2, 0.5], "comp": [1.0, 2.0]},
+        "tasks": tasks,
+        "scheduler": scheduler,
+        "seed": seed,
+    }
+    payload.update(extra)
+    return payload
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"workers": -1},
+            {"batch_size": 0},
+            {"batch_size": 8, "max_queue": 4},
+            {"max_cost": 0},
+        ],
+    )
+    def test_rejects_bad_configuration(self, kwargs):
+        with pytest.raises(ServiceError):
+            ScheduleService(**kwargs)
+
+    def test_context_manager_closes_the_pool(self):
+        with ScheduleService(workers=2, batch_size=2) as service:
+            service.submit(make_request(seed=1))
+            service.submit(make_request(seed=2))
+            service.drain()
+        assert service._pool is None
+
+
+class TestResponses:
+    def test_one_response_per_request_in_submission_order(self):
+        service = ScheduleService(batch_size=4)
+        for seed in range(5):
+            service.submit(make_request(seed=seed, id=f"r{seed}"))
+        responses = service.drain()
+        assert [r["id"] for r in responses] == [f"r{seed}" for seed in range(5)]
+        assert all(r["status"] == "ok" for r in responses)
+        assert service.stats.responded == 5
+
+    def test_malformed_requests_resolve_to_error_responses(self):
+        service = ScheduleService(batch_size=2)
+        service.submit("this is not json")
+        service.submit(make_request(scheduler="NOPE", id="bad"))
+        service.submit(make_request(id="good"))
+        invalid_json, bad, good = service.drain()
+        assert invalid_json["status"] == "error"
+        assert invalid_json["error"]["type"] == "request-invalid"
+        assert bad["status"] == "error"
+        assert bad["id"] == "bad"  # the id survives even when validation fails
+        assert good["status"] == "ok"
+        assert service.stats.invalid == 2
+
+    def test_response_metrics_match_direct_execution(self):
+        raw = make_request(seed=5, tasks=15)
+        service = ScheduleService(batch_size=1)
+        service.submit(raw)
+        (response,) = service.drain()
+        assert response["metrics"] == execute_request(canonicalize_request(raw))
+
+
+class TestExecutionErrors:
+    def test_any_exception_becomes_an_execution_error_response(self, monkeypatch):
+        # The one-response-per-request invariant must survive arbitrary
+        # executor failures (engine bug, broken pool), not just ReproErrors.
+        import repro.service.dispatcher as dispatcher_module
+
+        def explode(request):
+            raise ValueError("engine bug")
+
+        monkeypatch.setattr(dispatcher_module, "execute_request", explode)
+        service = ScheduleService(batch_size=2)
+        service.submit(make_request(seed=1, id="a"))
+        service.submit(make_request(seed=1, id="b"))  # coalesced duplicate
+        responses = service.drain()
+        assert [r["status"] for r in responses] == ["error", "error"]
+        assert all(r["error"]["type"] == "execution-error" for r in responses)
+        assert "engine bug" in responses[0]["error"]["message"]
+        assert service.stats.failed == 2
+
+    def test_failed_results_are_not_cached(self, monkeypatch):
+        import repro.service.dispatcher as dispatcher_module
+
+        calls = {"n": 0}
+        real = dispatcher_module.execute_request
+
+        def flaky(request):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise ValueError("transient")
+            return real(request)
+
+        monkeypatch.setattr(dispatcher_module, "execute_request", flaky)
+        service = ScheduleService(batch_size=1, cache=LRUResultCache())
+        service.submit(make_request(seed=1))
+        assert service.drain()[0]["status"] == "error"
+        service.submit(make_request(seed=1))
+        assert service.drain()[0]["status"] == "ok"  # retried, not served stale
+
+
+class TestWorkerPool:
+    def test_workers_zero_means_all_cpus_and_matches_serial(self):
+        requests = [make_request(seed=s, id=f"r{s}") for s in range(3)]
+
+        def run(workers):
+            with ScheduleService(workers=workers, batch_size=4) as service:
+                for raw in requests:
+                    service.submit(raw)
+                responses = service.drain()
+                pooled = service._pool is not None
+            return responses, pooled
+
+        zero, zero_pooled = run(0)
+        serial, serial_pooled = run(1)
+        assert zero == serial
+        assert zero_pooled and not serial_pooled
+
+
+class TestCoalescing:
+    def test_duplicate_in_flight_requests_run_one_simulation(self):
+        service = ScheduleService(batch_size=8)
+        for index in range(6):
+            service.submit(make_request(seed=1, id=f"dup{index}"))
+        responses = service.drain()
+        assert service.stats.simulations == 1
+        assert service.stats.coalesced == 5
+        payloads = [r["metrics"] for r in responses]
+        assert all(p == payloads[0] for p in payloads)
+        assert len({r["id"] for r in responses}) == 6
+
+    def test_coalescing_respects_the_canonical_key(self):
+        service = ScheduleService(batch_size=4)
+        service.submit(make_request(seed=1))
+        service.submit({**make_request(seed=1), "tasks": {"n": 10.0}})  # same key
+        service.submit(make_request(seed=2))  # different key
+        service.drain()
+        assert service.stats.simulations == 2
+        assert service.stats.coalesced == 1
+
+
+class TestCaching:
+    def test_cache_serves_repeats_across_batches(self):
+        service = ScheduleService(batch_size=1, cache=LRUResultCache(max_entries=8))
+        service.submit(make_request(seed=3))
+        first = service.drain()
+        service.submit(make_request(seed=3))
+        second = service.drain()
+        assert service.stats.simulations == 1
+        assert service.stats.cache_hits == 1
+        assert first[0]["metrics"] == second[0]["metrics"]
+
+    def test_responses_never_alias_the_cached_metrics(self):
+        service = ScheduleService(batch_size=4, cache=LRUResultCache())
+        service.submit(make_request(seed=3, id="a"))
+        service.submit(make_request(seed=3, id="b"))  # coalesced duplicate
+        first, second = service.drain()
+        first["metrics"]["makespan"] = -1.0  # a misbehaving consumer
+        assert second["metrics"]["makespan"] != -1.0
+        service.submit(make_request(seed=3, id="c"))  # served from cache
+        (third,) = service.drain()
+        assert third["metrics"]["makespan"] != -1.0
+
+    def test_cacheless_service_recomputes(self):
+        service = ScheduleService(batch_size=1)
+        service.submit(make_request(seed=3))
+        service.drain()
+        service.submit(make_request(seed=3))
+        service.drain()
+        assert service.stats.simulations == 2
+
+
+class TestAdmissionControl:
+    def test_queue_overflow_is_shed_with_a_typed_response(self):
+        service = ScheduleService(batch_size=2, max_queue=2)
+        for seed in range(3):
+            service.submit(make_request(seed=seed, id=f"r{seed}"))
+        responses = service.drain()
+        assert [r["status"] for r in responses] == ["ok", "ok", "rejected"]
+        assert responses[2]["error"]["type"] == "service-overloaded"
+        assert "queue full" in responses[2]["error"]["message"]
+        assert service.stats.rejected == 1
+
+    def test_pumping_frees_queue_slots(self):
+        service = ScheduleService(batch_size=2, max_queue=2)
+        service.submit(make_request(seed=0))
+        service.submit(make_request(seed=1))
+        assert service.ready()
+        service.pump()
+        service.submit(make_request(seed=2))  # admitted again after the pump
+        responses = service.drain()
+        assert service.stats.rejected == 0
+        assert len(responses) == 1
+
+    def test_cost_budget_sheds_expensive_requests(self):
+        service = ScheduleService(batch_size=4, max_cost=50)
+        service.submit(make_request(tasks=10))  # cost 20: admitted
+        service.submit(make_request(tasks=100))  # cost 200: shed
+        ok, shed = service.drain()
+        assert ok["status"] == "ok"
+        assert shed["status"] == "rejected"
+        assert "admission budget" in shed["error"]["message"]
+
+    def test_invalid_requests_do_not_occupy_queue_slots(self):
+        service = ScheduleService(batch_size=2, max_queue=2)
+        service.submit("broken")
+        service.submit("also broken")
+        service.submit(make_request(seed=0))
+        service.submit(make_request(seed=1))
+        responses = service.drain()
+        assert [r["status"] for r in responses] == ["error", "error", "ok", "ok"]
+        assert service.stats.rejected == 0
+
+
+class TestDeterminism:
+    def stream(self):
+        """A request mix with duplicates, errors and distinct configs."""
+        requests = []
+        for index in range(12):
+            requests.append(make_request(seed=index % 4, id=f"r{index}"))
+        requests.insert(3, "garbage")
+        requests.insert(7, make_request(scheduler="NOPE", id="invalid"))
+        return requests
+
+    def run(self, workers):
+        with ScheduleService(
+            workers=workers, batch_size=4, cache=LRUResultCache(max_entries=16)
+        ) as service:
+            for raw in self.stream():
+                service.submit(raw)
+            return service.drain()
+
+    def test_worker_pool_matches_serial_exactly(self):
+        assert self.run(workers=2) == self.run(workers=1)

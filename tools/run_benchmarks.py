@@ -1,0 +1,170 @@
+#!/usr/bin/env python
+"""Timed engine + service benchmark suite — the repo's perf trajectory.
+
+Runs a small, fixed set of named benchmarks and writes their timings to a
+JSON file (default ``BENCH_service.json``) with the schema::
+
+    {bench_name: {"mean_s": float, "runs": int, "params": {...}}}
+
+so future PRs can diff performance against the committed baseline instead
+of guessing.  Wall-clock numbers are hardware-dependent — the file is a
+*trajectory*, not a gate; CI runs this script in informational mode only.
+
+The suite covers the layers a serving regression could hide in:
+
+* ``engine_simulate`` — the raw one-port engine (1000-task bag, 5 workers);
+* ``request_canonicalize`` — request validation + canonical hashing, the
+  per-request overhead every service call pays;
+* ``service_unique_stream`` — the dispatcher on an all-miss stream
+  (every request simulates);
+* ``service_cached_stream`` — the same stream against a warm result cache
+  (the steady-state serving hot path).
+
+Run with::
+
+    PYTHONPATH=src python tools/run_benchmarks.py --output BENCH_service.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import io
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.engine import simulate  # noqa: E402  (path bootstrap above)
+from repro.core.platform import Platform  # noqa: E402
+from repro.schedulers.base import create_scheduler  # noqa: E402
+from repro.service.cache import LRUResultCache  # noqa: E402
+from repro.service.dispatcher import ScheduleService  # noqa: E402
+from repro.service.schema import canonicalize_request  # noqa: E402
+from repro.service.server import serve_lines  # noqa: E402
+from repro.service.streams import synthetic_request_lines  # noqa: E402
+from repro.workloads.release import all_at_zero  # noqa: E402
+
+
+def _time(fn: Callable[[], Any], runs: int) -> float:
+    """Mean wall-clock seconds of ``fn`` over ``runs`` calls (1 warm-up)."""
+    fn()  # warm-up: imports, pools, caches
+    total = 0.0
+    for _ in range(runs):
+        start = time.perf_counter()
+        fn()
+        total += time.perf_counter() - start
+    return total / runs
+
+
+def bench_engine_simulate(runs: int) -> Dict[str, Any]:
+    """Raw engine cost: 1000-task bag on a 5-worker heterogeneous platform."""
+    platform = Platform.from_times(
+        [0.05, 0.06, 0.07, 0.08, 0.09], [0.5, 0.75, 1.0, 1.25, 1.5]
+    )
+    tasks = all_at_zero(1000)
+    scheduler = create_scheduler("LS")
+
+    def run() -> None:
+        simulate(scheduler, platform, tasks, expose_task_count=True)
+
+    return {
+        "mean_s": _time(run, runs),
+        "runs": runs,
+        "params": {"n_tasks": 1000, "n_workers": 5, "scheduler": "LS"},
+    }
+
+
+def bench_request_canonicalize(runs: int) -> Dict[str, Any]:
+    """Validation + canonical-hash overhead for 1000 raw request payloads."""
+    payloads = [json.loads(line) for line in synthetic_request_lines(1000)]
+
+    def run() -> None:
+        for payload in payloads:
+            canonicalize_request(payload)
+
+    return {
+        "mean_s": _time(run, runs),
+        "runs": runs,
+        "params": {"n_requests": 1000},
+    }
+
+
+def _serve(lines: List[str], cache: LRUResultCache) -> None:
+    with ScheduleService(workers=1, batch_size=16, max_queue=1024, cache=cache) as svc:
+        serve_lines(iter(lines), svc, io.StringIO())
+
+
+def bench_service_unique_stream(runs: int, n_requests: int) -> Dict[str, Any]:
+    """Dispatcher on an all-miss stream: every request simulates."""
+    lines = synthetic_request_lines(n_requests)
+
+    def run() -> None:
+        _serve(lines, LRUResultCache(max_entries=4 * n_requests))
+
+    return {
+        "mean_s": _time(run, runs),
+        "runs": runs,
+        "params": {"n_requests": n_requests, "cache": "cold"},
+    }
+
+
+def bench_service_cached_stream(runs: int, n_requests: int) -> Dict[str, Any]:
+    """Dispatcher on the same stream with a warm cache: zero simulations."""
+    lines = synthetic_request_lines(n_requests)
+    cache = LRUResultCache(max_entries=4 * n_requests)
+    _serve(lines, cache)  # warm the cache once, outside the timed region
+
+    def run() -> None:
+        _serve(lines, cache)
+
+    return {
+        "mean_s": _time(run, runs),
+        "runs": runs,
+        "params": {"n_requests": n_requests, "cache": "warm"},
+    }
+
+
+def run_suite(runs: int, n_requests: int) -> Dict[str, Dict[str, Any]]:
+    """Execute every benchmark; returns the ``BENCH_service.json`` payload."""
+    return {
+        "engine_simulate": bench_engine_simulate(runs),
+        "request_canonicalize": bench_request_canonicalize(runs),
+        "service_unique_stream": bench_service_unique_stream(runs, n_requests),
+        "service_cached_stream": bench_service_cached_stream(runs, n_requests),
+    }
+
+
+def main(argv=None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        description="Run the timed engine+service suite and write BENCH_service.json."
+    )
+    parser.add_argument(
+        "--output", default="BENCH_service.json", help="where to write the results"
+    )
+    parser.add_argument(
+        "--runs", type=int, default=3, help="timed repetitions per benchmark"
+    )
+    parser.add_argument(
+        "--requests", type=int, default=64, help="stream length of the service benchmarks"
+    )
+    args = parser.parse_args(argv)
+    if args.runs < 1 or args.requests < 1:
+        parser.error("--runs and --requests must be >= 1")
+
+    results = run_suite(args.runs, args.requests)
+    Path(args.output).write_text(
+        json.dumps(results, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    width = max(len(name) for name in results)
+    for name, entry in sorted(results.items()):
+        print(f"{name:<{width}}  {entry['mean_s'] * 1e3:9.2f} ms  (x{entry['runs']})")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
