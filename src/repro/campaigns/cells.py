@@ -13,17 +13,26 @@ A cell runner is a plain function ``fn(cell) -> dict`` returning JSON-able
 metrics; it must derive all randomness via
 :func:`repro.campaigns.grid.cell_rng` so that results are independent of
 where and when the cell runs.
+
+Experiments may additionally register a *batch* runner — a function
+``fn(cells, engine_backend) -> list[dict]`` that executes many cells through
+one :meth:`~repro.core.kernel.SimulationKernel.run_batch` call.  Batch
+runners are only consulted when the campaign selects a non-reference
+``engine_backend``; per the backend parity contract they must return exactly
+the metrics the per-cell runner would, so results and caches are
+interchangeable between the two paths.
 """
 
 from __future__ import annotations
 
 from importlib import import_module
-from typing import Any, Callable, Dict
+from typing import Any, Callable, Dict, List, Sequence
 
+from ..core.kernel import DEFAULT_BACKEND
 from ..exceptions import CampaignError
 from .grid import CampaignCell
 
-__all__ = ["run_cell", "CELL_RUNNERS"]
+__all__ = ["run_cell", "run_cell_batch", "CELL_RUNNERS", "BATCH_RUNNERS"]
 
 #: experiment name -> "module:function" implementing the cell.
 CELL_RUNNERS: Dict[str, str] = {
@@ -33,7 +42,14 @@ CELL_RUNNERS: Dict[str, str] = {
     "table1": "repro.experiments.table1:run_table1_cell",
 }
 
+#: experiment name -> "module:function" implementing batched execution.
+#: Experiments without an entry transparently fall back to per-cell runs.
+BATCH_RUNNERS: Dict[str, str] = {
+    "figure1": "repro.experiments.figure1:run_figure1_cell_batch",
+}
+
 _RESOLVED: Dict[str, Callable[[CampaignCell], Dict[str, Any]]] = {}
+_RESOLVED_BATCH: Dict[str, Callable[..., List[Dict[str, Any]]]] = {}
 
 
 def _resolve(experiment: str) -> Callable[[CampaignCell], Dict[str, Any]]:
@@ -64,3 +80,34 @@ def run_cell(cell: CampaignCell) -> Dict[str, Any]:
             f"{type(metrics).__name__}, expected dict"
         )
     return metrics
+
+
+def run_cell_batch(
+    cells: Sequence[CampaignCell], engine_backend: str = DEFAULT_BACKEND
+) -> List[Dict[str, Any]]:
+    """Execute a same-experiment run of cells, batched when possible.
+
+    With the reference backend — or for experiments without a registered
+    batch runner — this is exactly ``[run_cell(c) for c in cells]``; a
+    registered batch runner turns the run into one kernel batch instead.
+    Results are aligned with ``cells`` and identical either way (backend
+    parity contract).
+    """
+    cells = list(cells)
+    if not cells:
+        return []
+    experiment = cells[0].experiment
+    if any(cell.experiment != experiment for cell in cells):
+        raise CampaignError("run_cell_batch requires cells of one experiment")
+    if engine_backend == "reference" or experiment not in BATCH_RUNNERS:
+        return [run_cell(cell) for cell in cells]
+    if experiment not in _RESOLVED_BATCH:
+        module_name, _, attribute = BATCH_RUNNERS[experiment].partition(":")
+        _RESOLVED_BATCH[experiment] = getattr(import_module(module_name), attribute)
+    metrics_list = _RESOLVED_BATCH[experiment](cells, engine_backend)
+    if len(metrics_list) != len(cells):
+        raise CampaignError(
+            f"batch runner for {experiment!r} returned {len(metrics_list)} "
+            f"result(s) for {len(cells)} cell(s)"
+        )
+    return metrics_list

@@ -26,9 +26,10 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.stats import RunningStat
+from ..core.kernel import DEFAULT_BACKEND, available_backends
 from ..exceptions import CampaignError
 from .cache import CampaignCache
-from .cells import run_cell
+from .cells import run_cell, run_cell_batch
 from .grid import CampaignCell
 
 __all__ = ["CampaignResult", "StreamingAggregator", "run_campaign"]
@@ -36,6 +37,11 @@ __all__ = ["CampaignResult", "StreamingAggregator", "run_campaign"]
 #: Keep a small bound on in-flight futures so huge grids do not serialise
 #: all their pending cells into executor queues at once.
 _MAX_INFLIGHT_PER_WORKER = 4
+
+#: Cells per kernel batch on a non-reference backend: large enough to
+#: amortise the lockstep setup, small enough to keep memory flat on huge
+#: grids (per-batch state is O(batch x workers x tasks)).
+_BATCH_CHUNK = 32
 
 
 class StreamingAggregator:
@@ -126,6 +132,23 @@ def _validated_grid(cells: Sequence[CampaignCell]) -> Tuple[CampaignCell, ...]:
     return grid
 
 
+def _experiment_chunks(
+    cells: Sequence[CampaignCell], size: int
+) -> List[List[CampaignCell]]:
+    """Split a grid-ordered cell list into same-experiment runs of <= size."""
+    chunks: List[List[CampaignCell]] = []
+    for cell in cells:
+        if (
+            chunks
+            and chunks[-1][0].experiment == cell.experiment
+            and len(chunks[-1]) < size
+        ):
+            chunks[-1].append(cell)
+        else:
+            chunks.append([cell])
+    return chunks
+
+
 def default_worker_count() -> int:
     """Number of processes ``workers=0`` resolves to (the machine's CPUs)."""
     return max(os.cpu_count() or 1, 1)
@@ -137,6 +160,7 @@ def run_campaign(
     cache: Optional[CampaignCache] = None,
     group_key: Optional[Callable[[CampaignCell], str]] = None,
     on_result: Optional[Callable[[CampaignCell, Dict[str, Any], bool], None]] = None,
+    engine_backend: str = DEFAULT_BACKEND,
 ) -> CampaignResult:
     """Execute a campaign grid and aggregate its results deterministically.
 
@@ -157,9 +181,23 @@ def run_campaign(
     on_result:
         Progress callback ``(cell, metrics, was_cached)`` invoked in
         completion order.
+    engine_backend:
+        Which simulation kernel executes uncached cells (see
+        :mod:`repro.core.kernel`).  ``"reference"`` keeps the per-cell path
+        — inline or process pool.  Any other backend runs the cells in
+        kernel batches of :data:`_BATCH_CHUNK` inline, bypassing the pool
+        (the batch *is* the parallelism); experiments without a batch
+        runner transparently fall back per cell.  Results and caches are
+        identical either way (backend parity contract).
     """
     if workers < 0:
         raise CampaignError(f"workers must be >= 0, got {workers}")
+    if engine_backend.lower() not in available_backends():
+        raise CampaignError(
+            f"unknown engine backend {engine_backend!r}; "
+            f"available: {available_backends()}"
+        )
+    engine_backend = engine_backend.lower()
     if workers == 0:
         workers = default_worker_count()
 
@@ -185,7 +223,13 @@ def run_campaign(
             to_compute.append(cell)
 
     # 2. compute the rest
-    if workers <= 1 or len(to_compute) <= 1:
+    if engine_backend != "reference":
+        for chunk in _experiment_chunks(to_compute, _BATCH_CHUNK):
+            for cell, metrics in zip(chunk, run_cell_batch(chunk, engine_backend)):
+                if cache is not None:
+                    cache.store(cell, metrics)
+                _record(cell, metrics, False)
+    elif workers <= 1 or len(to_compute) <= 1:
         for cell in to_compute:
             metrics = run_cell(cell)
             if cache is not None:

@@ -38,6 +38,7 @@ from . import __version__
 from ._hashing import canonical_json
 from .campaigns.cache import CampaignCache
 from .core.engine import simulate
+from .core.kernel import DEFAULT_BACKEND, available_backends
 from .exceptions import RequestValidationError, ScenarioError
 from .core.metrics import evaluate
 from .core.platform import Platform
@@ -201,6 +202,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--heuristics", action="store_true",
         help="table1 only: also play every heuristic against every adversary",
     )
+    campaign.add_argument(
+        "--engine-backend",
+        default=DEFAULT_BACKEND,
+        choices=available_backends(),
+        help="simulation kernel executing uncached cells (results are identical)",
+    )
 
     scenario = subparsers.add_parser(
         "scenario",
@@ -287,6 +294,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="COST",
         help="admission budget on tasks x workers per request (default: unbounded)",
+    )
+    serve.add_argument(
+        "--engine-backend",
+        default=DEFAULT_BACKEND,
+        choices=available_backends(),
+        help="simulation kernel executing a batch's unique requests (responses are identical)",
     )
     serve.add_argument(
         "--quiet",
@@ -409,7 +422,13 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             use_cluster=args.cluster,
             scenario=args.scenario,
         )
-        result = run_figure1(config, panels=args.panels, workers=args.workers, cache=cache)
+        result = run_figure1(
+            config,
+            panels=args.panels,
+            workers=args.workers,
+            cache=cache,
+            engine_backend=args.engine_backend,
+        )
         report = format_figure1(result)
     elif args.experiment == "figure2":
         config = Figure2Config(
@@ -419,7 +438,14 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             perturbation_amplitude=args.amplitude,
             n_perturbations=args.perturbations,
         )
-        report = format_figure2(run_figure2(config, workers=args.workers, cache=cache))
+        report = format_figure2(
+            run_figure2(
+                config,
+                workers=args.workers,
+                cache=cache,
+                engine_backend=args.engine_backend,
+            )
+        )
     elif args.experiment == "sweep":
         sweep = run_heterogeneity_sweep(
             dimension=args.dimension,
@@ -429,11 +455,15 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
             rng=args.seed,
             workers=args.workers,
             cache=cache,
+            engine_backend=args.engine_backend,
         )
         report = format_sweep(sweep)
     else:  # table1
         result = run_table1(
-            include_heuristics=args.heuristics, workers=args.workers, cache=cache
+            include_heuristics=args.heuristics,
+            workers=args.workers,
+            cache=cache,
+            engine_backend=args.engine_backend,
         )
         report = format_table1_result(result)
 
@@ -522,6 +552,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_queue=args.max_queue,
         cache=cache,
         max_cost=args.max_cost,
+        engine_backend=args.engine_backend,
     ) as service:
         serve_stream(
             sys.stdin, service, sys.stdout, err=None if args.quiet else sys.stderr

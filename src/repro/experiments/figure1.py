@@ -55,6 +55,7 @@ __all__ = [
     "Figure1Result",
     "figure1_panel_grid",
     "run_figure1_cell",
+    "run_figure1_cell_batch",
     "run_figure1_panel",
     "run_figure1",
     "FIGURE1_PANELS",
@@ -168,8 +169,8 @@ def figure1_panel_grid(config: Figure1Config, root_seed: int) -> List[CampaignCe
     return cells
 
 
-def run_figure1_cell(cell: CampaignCell) -> Dict[str, float]:
-    """Execute one (platform, heuristic, scenario) simulation of Figure 1.
+def _figure1_cell_inputs(cell: CampaignCell):
+    """Derive one cell's ``(scheduler, platform, tasks, timeline)`` inputs.
 
     The platform is re-derived from ``(seed, kind, platform_index)`` only, so
     every heuristic cell of the same platform index sees the same platform no
@@ -207,7 +208,13 @@ def run_figure1_cell(cell: CampaignCell) -> Dict[str, float]:
         )
         instance = scenario.build(platform, n_tasks, rng=scenario_rng)
         tasks, timeline = instance.tasks, instance.timeline
-    scheduler = create_scheduler(cell.param("scheduler"))
+    return cell.param("scheduler"), platform, tasks, timeline
+
+
+def run_figure1_cell(cell: CampaignCell) -> Dict[str, float]:
+    """Execute one (platform, heuristic, scenario) simulation of Figure 1."""
+    name, platform, tasks, timeline = _figure1_cell_inputs(cell)
+    scheduler = create_scheduler(name)
     schedule = simulate(
         scheduler, platform, tasks, expose_task_count=True, timeline=timeline
     )
@@ -219,6 +226,32 @@ def run_figure1_cell(cell: CampaignCell) -> Dict[str, float]:
     }
 
 
+def run_figure1_cell_batch(
+    cells: Sequence[CampaignCell], engine_backend: str
+) -> List[Dict[str, float]]:
+    """Execute many Figure 1 cells through one batched kernel call.
+
+    Inputs are derived per cell exactly as :func:`run_figure1_cell` derives
+    them; only the simulations are batched, so the metrics are identical to
+    the per-cell path bit for bit (backend parity contract).
+    """
+    from ..core.kernel import KernelJob, create_kernel
+
+    jobs = []
+    for cell in cells:
+        name, platform, tasks, timeline = _figure1_cell_inputs(cell)
+        jobs.append(KernelJob(name, platform, tasks, timeline=timeline))
+    results = create_kernel(engine_backend).run_batch(jobs)
+    return [
+        {
+            "makespan": result.metrics["makespan"],
+            "sum_flow": result.metrics["sum_flow"],
+            "max_flow": result.metrics["max_flow"],
+        }
+        for result in results
+    ]
+
+
 # ---------------------------------------------------------------------------
 # Campaign drivers
 # ---------------------------------------------------------------------------
@@ -226,6 +259,7 @@ def run_figure1_panel(
     config: Figure1Config,
     workers: int = 1,
     cache: Optional[CampaignCache] = None,
+    engine_backend: str = "reference",
 ) -> PanelResult:
     """Run one Figure 1 diagram (one platform class)."""
     root_seed = resolve_root_seed(config.seed)
@@ -235,6 +269,7 @@ def run_figure1_panel(
         workers=workers,
         cache=cache,
         group_key=lambda cell: cell.param("scheduler"),
+        engine_backend=engine_backend,
     )
     n_heuristics = len(config.heuristics)
     per_platform: List[Dict[str, Dict[str, float]]] = []
@@ -265,6 +300,7 @@ def run_figure1(
     panels: Optional[Sequence[str]] = None,
     workers: int = 1,
     cache: Optional[CampaignCache] = None,
+    engine_backend: str = "reference",
 ) -> Figure1Result:
     """Run all (or a subset of) the four Figure 1 diagrams."""
     from dataclasses import replace
@@ -278,5 +314,7 @@ def run_figure1(
                 f"unknown Figure 1 panel {name!r}; available: {sorted(FIGURE1_PANELS)}"
             )
         panel_config = replace(config, kind=FIGURE1_PANELS[name])
-        results[name] = run_figure1_panel(panel_config, workers=workers, cache=cache)
+        results[name] = run_figure1_panel(
+            panel_config, workers=workers, cache=cache, engine_backend=engine_backend
+        )
     return Figure1Result(panels=results)

@@ -29,7 +29,7 @@ state, coalescing and TTL expiry change only latency and the statistics —
 from __future__ import annotations
 
 import json
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Optional, Union
 
@@ -38,8 +38,9 @@ from ..exceptions import (
     ServiceError,
     ServiceOverloadedError,
 )
+from ..core.kernel import DEFAULT_BACKEND, available_backends
 from .cache import LRUResultCache
-from .executor import execute_config, execute_request
+from .executor import execute_batch, execute_config, execute_request
 from .schema import SCHEMA_VERSION, ScheduleRequest, canonicalize_request
 
 __all__ = ["ServiceStats", "ScheduleService"]
@@ -123,6 +124,15 @@ class ScheduleService:
     max_cost:
         Optional per-request budget on ``n_tasks * n_workers``; costlier
         requests are shed at submission.
+    engine_backend:
+        Which simulation kernel executes a batch's unique configurations
+        (see :mod:`repro.core.kernel`).  ``"reference"`` (the default) keeps
+        the per-request path — inline or process pool.  Any other backend
+        (e.g. ``"array"``) turns each pump's unique configurations into one
+        batched :func:`~repro.service.executor.execute_batch` call executed
+        inline; the process pool is bypassed because the batch *is* the
+        parallelism.  Responses are identical either way (backend parity
+        contract).
     """
 
     def __init__(
@@ -132,6 +142,7 @@ class ScheduleService:
         max_queue: int = 256,
         cache: Optional[LRUResultCache] = None,
         max_cost: Optional[int] = None,
+        engine_backend: str = DEFAULT_BACKEND,
     ) -> None:
         if workers < 0:
             raise ServiceError(f"workers must be >= 0, got {workers}")
@@ -143,6 +154,12 @@ class ScheduleService:
             )
         if max_cost is not None and max_cost <= 0:
             raise ServiceError(f"max_cost must be positive (or None), got {max_cost}")
+        if engine_backend.lower() not in available_backends():
+            raise ServiceError(
+                f"unknown engine backend {engine_backend!r}; "
+                f"available: {available_backends()}"
+            )
+        self.engine_backend = engine_backend.lower()
         self.workers = workers
         self.batch_size = batch_size
         self.max_queue = max_queue
@@ -314,6 +331,8 @@ class ScheduleService:
         if not primaries:
             return results
         self.stats.simulations += len(primaries)
+        if self.engine_backend != "reference":
+            return self._run_unique_batched(primaries)
         if self.workers == 1 or len(primaries) == 1:
             for key, request in primaries.items():
                 assert request is not None
@@ -323,16 +342,64 @@ class ScheduleService:
                     results[key] = exc
         else:
             pool = self._ensure_pool()
-            futures = {
-                key: pool.submit(execute_config, dict(request.config))
-                for key, request in primaries.items()
-                if request is not None
-            }
+            try:
+                futures = {
+                    key: pool.submit(execute_config, dict(request.config))
+                    for key, request in primaries.items()
+                    if request is not None
+                }
+            except Exception:  # noqa: BLE001 - pool already broken: run inline
+                # submit() itself raises once the executor is marked broken
+                # (a worker process died).  Serve this batch inline so every
+                # key still resolves, and drop the dead pool.
+                self.close()
+                for key, request in primaries.items():
+                    assert request is not None
+                    try:
+                        results[key] = execute_request(request)
+                    except Exception as exc:  # noqa: BLE001 - mapped to a response
+                        results[key] = exc
+                return results
             for key, future in futures.items():
                 try:
                     results[key] = future.result()
                 except Exception as exc:  # noqa: BLE001 - mapped to a response
                     results[key] = exc
+            if any(isinstance(value, BrokenExecutor) for value in results.values()):
+                # A worker died mid-batch: those keys resolve to
+                # execution-error responses, and the broken pool is dropped
+                # so the next pump starts a fresh one instead of failing
+                # forever.
+                self.close()
+        return results
+
+    def _run_unique_batched(
+        self, primaries: Mapping[str, Optional[ScheduleRequest]]
+    ) -> Dict[str, Any]:
+        """One batched kernel call for every unique key of this pump.
+
+        ``run_batch`` is all-or-nothing, so when the batch raises — one bad
+        request must not poison its batch-mates — the whole set falls back
+        to per-request execution, which maps each key to its own result or
+        error exactly like the serial path (backends are metric-identical,
+        so the fallback changes nothing but latency).
+        """
+        keys = [key for key, request in primaries.items() if request is not None]
+        results: Dict[str, Any] = {}
+        try:
+            payloads = execute_batch(
+                [primaries[key] for key in keys], backend=self.engine_backend
+            )
+        except Exception:  # noqa: BLE001 - resolved request by request below
+            for key in keys:
+                request = primaries[key]
+                assert request is not None
+                try:
+                    results[key] = execute_request(request)
+                except Exception as exc:  # noqa: BLE001 - mapped to a response
+                    results[key] = exc
+            return results
+        results.update(zip(keys, payloads))
         return results
 
     def _ensure_pool(self) -> ProcessPoolExecutor:

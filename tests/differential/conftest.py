@@ -1,0 +1,17 @@
+"""Differential-suite plumbing: import the harness from ``tools/``.
+
+The case generators and the comparison routine live in
+``tools/diff_backends.py`` so that the CLI harness and the test-suite run
+*the same* code — a mismatch reproduced by one is reproducible by the
+other verbatim.  The tools directory is not a package, so it is added to
+``sys.path`` here.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_TOOLS = Path(__file__).resolve().parents[2] / "tools"
+if str(_TOOLS) not in sys.path:
+    sys.path.insert(0, str(_TOOLS))

@@ -1,0 +1,84 @@
+"""Acceptance grid: array backend vs. reference engine, every combination.
+
+The backend parity contract (``src/repro/core/kernel.py``) requires any
+kernel backend to be *trace-equal* to the reference engine — identical
+:class:`~repro.core.schedule.TaskRecord` rows, exact float comparison — and
+metric-identical.  This module asserts it on the full
+(7 schedulers x 8 scenarios x 5 seeds) grid the issue's acceptance criteria
+name, one scenario per test so a regression points at the scenario that
+broke.
+"""
+
+from __future__ import annotations
+
+import pytest
+from diff_backends import GRID_PLATFORM, compare_backends, grid_cases
+
+from repro.core.kernel import create_kernel
+from repro.core.metrics import evaluate
+from repro.scenarios import available_scenarios
+from repro.schedulers.base import PAPER_HEURISTICS
+
+SEEDS = 5
+N_TASKS = 40
+
+
+@pytest.mark.parametrize("scenario", sorted(available_scenarios()))
+def test_grid_scenario_trace_and_metric_parity(scenario):
+    # One batched array run per scenario: 7 schedulers x 5 seeds.
+    jobs = grid_cases(scenarios=[scenario], seeds=SEEDS, n_tasks=N_TASKS)
+    assert len(jobs) == len(PAPER_HEURISTICS) * SEEDS
+    assert compare_backends(jobs) == []
+
+
+def test_grid_covers_the_full_acceptance_matrix():
+    jobs = grid_cases(seeds=SEEDS, n_tasks=N_TASKS)
+    assert len(jobs) == len(PAPER_HEURISTICS) * len(available_scenarios()) * SEEDS
+    combos = {(job.scheduler, job.timeline is not None) for job in jobs}
+    assert {name for name, _ in combos} == set(PAPER_HEURISTICS)
+
+
+def test_hidden_task_count_variant_is_trace_equal():
+    # expose_task_count=False changes the SLJF/SLJFWC planning horizon; the
+    # backends must agree on that code path too.
+    jobs = [
+        job.__class__(
+            job.scheduler,
+            job.platform,
+            job.tasks,
+            timeline=job.timeline,
+            expose_task_count=False,
+        )
+        for job in grid_cases(
+            scenarios=["static", "degrading-worker"], seeds=2, n_tasks=30
+        )
+    ]
+    assert compare_backends(jobs) == []
+
+
+def test_array_metrics_match_its_own_materialised_schedule():
+    # The lazy KernelResult contract: eagerly-computed metrics must equal
+    # evaluate() of the schedule the factory later materialises.
+    jobs = grid_cases(scenarios=["node-failure"], seeds=2, n_tasks=30)
+    for result in create_kernel("array").run_batch(jobs):
+        assert result.metrics == evaluate(result.schedule).as_dict()
+
+
+def test_single_job_run_equals_batched_run():
+    (job,) = grid_cases(
+        schedulers=["LS"], scenarios=["flash-crowd"], seeds=1, n_tasks=25
+    )
+    kernel = create_kernel("array")
+    single = kernel.run(job)
+    (batched,) = kernel.run_batch([job])
+    assert single.metrics == batched.metrics
+    assert single.trace() == batched.trace()
+
+
+def test_grid_platform_is_fully_heterogeneous():
+    # The acceptance platform must exercise both heterogeneity dimensions,
+    # otherwise scheduler tie-breaks would mask real divergences.
+    comms = [worker.c for worker in GRID_PLATFORM]
+    comps = [worker.p for worker in GRID_PLATFORM]
+    assert len(set(comms)) == len(comms)
+    assert len(set(comps)) == len(comps)

@@ -115,6 +115,115 @@ class TestExecutionErrors:
         assert service.drain()[0]["status"] == "ok"  # retried, not served stale
 
 
+class TestWorkerDeath:
+    @staticmethod
+    def _kill_pool_workers(service):
+        for process in service._pool._processes.values():
+            process.terminate()
+        for process in service._pool._processes.values():
+            process.join()
+
+    def test_worker_death_mid_batch_keeps_one_response_per_request(self):
+        # Kill the pool's worker processes between two pumps.  Depending on
+        # when the executor notices, the next batch fails at submit() (served
+        # inline, "ok") or at future.result() (BrokenProcessPool mapped to
+        # "execution-error") — either way every request must resolve to
+        # exactly one response, in order, and the dead pool must be dropped.
+        with ScheduleService(workers=2, batch_size=2) as service:
+            service.submit(make_request(seed=1, id="warm1"))
+            service.submit(make_request(seed=2, id="warm2"))
+            warm = service.drain()
+            assert [r["status"] for r in warm] == ["ok", "ok"]
+            assert service._pool is not None
+            self._kill_pool_workers(service)
+
+            service.submit(make_request(seed=3, id="a"))
+            service.submit(make_request(seed=4, id="b"))
+            responses = service.drain()
+            assert [r["id"] for r in responses] == ["a", "b"]
+            for response in responses:
+                assert response["status"] in ("ok", "error")
+                if response["status"] == "error":
+                    assert response["error"]["type"] == "execution-error"
+            assert service.stats.responded == 4
+            assert service.stats.ok + service.stats.failed == 4
+            # both recovery paths drop the broken pool
+            assert service._pool is None
+
+    def test_service_recovers_with_a_fresh_pool_after_worker_death(self):
+        with ScheduleService(workers=2, batch_size=2) as service:
+            service.submit(make_request(seed=1))
+            service.submit(make_request(seed=2))
+            service.drain()
+            broken = service._pool
+            self._kill_pool_workers(service)
+            service.submit(make_request(seed=3, id="dead1"))
+            service.submit(make_request(seed=4, id="dead2"))
+            service.drain()
+            # the broken pool was dropped; the next batch gets a new one
+            # and serves normally
+            service.submit(make_request(seed=5, id="alive1"))
+            service.submit(make_request(seed=6, id="alive2"))
+            responses = service.drain()
+            assert [r["status"] for r in responses] == ["ok", "ok"]
+            assert service._pool is not broken
+
+
+class TestTTLExpiry:
+    def test_ttl_expiry_racing_a_coalesced_duplicate(self):
+        # Two identical requests land in one batch while their cached entry
+        # is mid-expiry: the first get() still hits, the clock then crosses
+        # the TTL, and the duplicate's get() expires.  The expired duplicate
+        # must recompute (not serve stale, not crash on the vanished entry)
+        # and, by the determinism contract, produce the identical metrics.
+        ticks = iter([0.0, 5.0, 15.0, 20.0])
+        cache = LRUResultCache(max_entries=8, ttl=10.0, clock=lambda: next(ticks))
+        service = ScheduleService(batch_size=4, cache=cache)
+        service.submit(make_request(seed=9, id="warm"))  # put at t=0
+        service.drain()
+        service.submit(make_request(seed=9, id="hit"))  # get at t=5: fresh
+        service.submit(make_request(seed=9, id="expired"))  # get at t=15: expired
+        hit, expired = service.drain()
+        assert hit["status"] == "ok" and expired["status"] == "ok"
+        assert hit["metrics"] == expired["metrics"]
+        assert service.stats.cache_hits == 1
+        assert service.stats.simulations == 2  # warm-up + the expired re-run
+        assert cache.expirations == 1
+
+
+class TestEngineBackend:
+    def test_unknown_backend_is_rejected_at_construction(self):
+        with pytest.raises(ServiceError):
+            ScheduleService(engine_backend="nope")
+
+    def test_array_backend_responses_match_reference_exactly(self):
+        def run(backend):
+            service = ScheduleService(batch_size=8, engine_backend=backend)
+            for seed in range(4):
+                service.submit(make_request(seed=seed, tasks=12, id=f"r{seed}"))
+            service.submit(make_request(seed=0, tasks=12, id="dup"))  # coalesces
+            return service.drain()
+
+        assert run("array") == run("reference")
+
+    def test_array_backend_falls_back_per_request_on_batch_failure(self, monkeypatch):
+        # run_batch is all-or-nothing; a poisoned batch must degrade to the
+        # serial path so healthy requests still succeed and only the broken
+        # one maps to an execution-error.
+        import repro.service.dispatcher as dispatcher_module
+
+        def explode(requests, backend="array"):
+            raise RuntimeError("batched kernel failure")
+
+        monkeypatch.setattr(dispatcher_module, "execute_batch", explode)
+        service = ScheduleService(batch_size=4, engine_backend="array")
+        service.submit(make_request(seed=1, id="a"))
+        service.submit(make_request(seed=2, id="b"))
+        responses = service.drain()
+        assert [r["status"] for r in responses] == ["ok", "ok"]
+        assert service.stats.simulations == 2
+
+
 class TestWorkerPool:
     def test_workers_zero_means_all_cpus_and_matches_serial(self):
         requests = [make_request(seed=s, id=f"r{s}") for s in range(3)]

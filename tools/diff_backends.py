@@ -1,0 +1,263 @@
+#!/usr/bin/env python
+"""Differential-verification harness: reference engine vs. array kernel.
+
+Every case — one (scheduler, platform, task bag, timeline) simulation — runs
+through both kernel backends (:mod:`repro.core.kernel`); the harness asserts
+
+* **trace equality**: the canonical trace rows (``task_id, worker_id,
+  release, send_start, send_end, compute_start, compute_end`` in send order)
+  are equal with *exact* float comparison, and
+* **metric identity**: the scalar metrics payloads are bit-identical.
+
+Cases come from two generators, both deterministic:
+
+* the **grid** — every (scheduler × scenario × seed) combination on a fixed
+  heterogeneous platform, the acceptance grid of the differential suite;
+* the **randomized corpus** — seeded random platforms, bag sizes, scenario
+  draws and scheduler mixes (including non-vectorized schedulers, which
+  exercise the array backend's per-job fallback), so coverage grows past
+  the hand-written grid by just raising ``--random``.
+
+The test-suite (``tests/differential/``) imports these generators; this CLI
+wraps them for one-shot verification runs::
+
+    PYTHONPATH=src python tools/diff_backends.py --seeds 5 --random 50
+
+Exit status is non-zero when any case mismatches, with a per-case diff
+summary on stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402  (path bootstrap above)
+
+from repro.core.kernel import KernelJob, create_kernel, trace_rows  # noqa: E402
+from repro.core.platform import Platform  # noqa: E402
+from repro.core.task import TaskSet  # noqa: E402
+from repro.scenarios import available_scenarios, create_scenario  # noqa: E402
+from repro.schedulers.base import PAPER_HEURISTICS  # noqa: E402
+
+__all__ = [
+    "GRID_PLATFORM",
+    "FALLBACK_SCHEDULERS",
+    "Mismatch",
+    "grid_cases",
+    "random_cases",
+    "compare_backends",
+    "main",
+]
+
+#: The fixed 4-worker heterogeneous platform of the acceptance grid.
+GRID_PLATFORM = Platform.from_times([0.05, 0.09, 0.07, 0.12], [0.6, 1.1, 0.9, 1.4])
+
+#: Deterministic non-vectorized schedulers: every one exercises the array
+#: backend's per-job delegation to the reference engine.  RANDOM is excluded
+#: on purpose — its decisions draw from a per-instance stream, so two
+#: independent runs are not comparable case material.
+FALLBACK_SCHEDULERS = ("RR-STRICT", "RRC-STRICT", "RRP-STRICT", "GREEDY-COMM", "SINGLE")
+
+
+@dataclass(frozen=True)
+class Mismatch:
+    """One differential failure: where two backends disagreed and how."""
+
+    index: int
+    scheduler: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"case {self.index} ({self.scheduler}): {self.detail}"
+
+
+def grid_cases(
+    schedulers: Sequence[str] = tuple(PAPER_HEURISTICS),
+    scenarios: Optional[Sequence[str]] = None,
+    seeds: int = 5,
+    n_tasks: int = 40,
+    platform: Optional[Platform] = None,
+) -> List[KernelJob]:
+    """The acceptance grid: every (scheduler x scenario x seed) case.
+
+    Scenario instances (task releases and platform timeline) are derived per
+    (scenario, seed) and shared by all schedulers of that combination, the
+    same discipline the campaign layer uses.
+    """
+    platform = platform if platform is not None else GRID_PLATFORM
+    names = sorted(available_scenarios()) if scenarios is None else list(scenarios)
+    jobs: List[KernelJob] = []
+    for scenario_name in names:
+        scenario = create_scenario(scenario_name)
+        for seed in range(seeds):
+            rng = np.random.default_rng(1_000 + seed)
+            instance = scenario.build(platform, n_tasks, rng)
+            for scheduler in schedulers:
+                jobs.append(
+                    KernelJob(
+                        scheduler,
+                        platform,
+                        instance.tasks,
+                        timeline=instance.timeline,
+                    )
+                )
+    return jobs
+
+
+def random_cases(n_cases: int, seed: int = 0) -> List[KernelJob]:
+    """A seeded randomized corpus of ``n_cases`` kernel jobs.
+
+    Each case draws its platform shape (1-6 workers), its heterogeneity,
+    its bag size (1-60 tasks), a scenario, a scheduler (one in six draws a
+    non-vectorized fallback scheduler) and the ``expose_task_count`` flag
+    from one deterministic stream, so a corpus is reproducible from
+    ``(n_cases, seed)`` alone.
+    """
+    rng = np.random.default_rng(987_000 + seed)
+    scenario_names = sorted(available_scenarios())
+    vectorized = list(PAPER_HEURISTICS)
+    jobs: List[KernelJob] = []
+    for _ in range(n_cases):
+        n_workers = int(rng.integers(1, 7))
+        comm = rng.uniform(0.02, 0.4, size=n_workers).round(4)
+        comp = rng.uniform(0.3, 2.5, size=n_workers).round(4)
+        platform = Platform.from_times(comm.tolist(), comp.tolist())
+        n_tasks = int(rng.integers(1, 61))
+        scenario = create_scenario(scenario_names[int(rng.integers(len(scenario_names)))])
+        instance = scenario.build(platform, n_tasks, rng)
+        if rng.integers(6) == 0:
+            scheduler = FALLBACK_SCHEDULERS[int(rng.integers(len(FALLBACK_SCHEDULERS)))]
+        else:
+            scheduler = vectorized[int(rng.integers(len(vectorized)))]
+        jobs.append(
+            KernelJob(
+                scheduler,
+                platform,
+                instance.tasks,
+                timeline=instance.timeline,
+                expose_task_count=bool(rng.integers(2)),
+            )
+        )
+    return jobs
+
+
+def compare_backends(
+    jobs: Sequence[KernelJob],
+    baseline: str = "reference",
+    candidate: str = "array",
+) -> List[Mismatch]:
+    """Run every job through both backends; return all disagreements.
+
+    The candidate backend receives the jobs as *one* batch (exercising the
+    batched path), the baseline runs them job by job; traces are compared
+    row for row with exact float equality, metrics key for key.
+    """
+    base = create_kernel(baseline)
+    cand = create_kernel(candidate)
+    candidate_results = cand.run_batch(jobs)
+    mismatches: List[Mismatch] = []
+    for index, job in enumerate(jobs):
+        expected = base.run(job)
+        actual = candidate_results[index]
+        for key, value in expected.metrics.items():
+            got = actual.metrics.get(key)
+            if got != value:
+                mismatches.append(
+                    Mismatch(index, job.scheduler, f"metric {key}: {got!r} != {value!r}")
+                )
+        expected_trace = trace_rows(expected.schedule)
+        actual_trace = actual.trace()
+        if len(expected_trace) != len(actual_trace):
+            mismatches.append(
+                Mismatch(
+                    index,
+                    job.scheduler,
+                    f"trace length {len(actual_trace)} != {len(expected_trace)}",
+                )
+            )
+            continue
+        for row_index, (expected_row, actual_row) in enumerate(
+            zip(expected_trace, actual_trace)
+        ):
+            if expected_row != actual_row:
+                mismatches.append(
+                    Mismatch(
+                        index,
+                        job.scheduler,
+                        f"trace row {row_index}: {actual_row} != {expected_row}",
+                    )
+                )
+                break
+    return mismatches
+
+
+def _report(label: str, jobs: Sequence[KernelJob], mismatches: Iterable[Mismatch]) -> int:
+    mismatches = list(mismatches)
+    status = "FAIL" if mismatches else "ok"
+    print(f"{label}: {len(jobs)} case(s), {len(mismatches)} mismatch(es) [{status}]")
+    for mismatch in mismatches:
+        print(f"  {mismatch}")
+    return len(mismatches)
+
+
+def main(argv=None) -> int:
+    """CLI entry point: run the grid and/or randomized differential suite."""
+    parser = argparse.ArgumentParser(
+        description="Verify kernel backends against the reference engine."
+    )
+    parser.add_argument(
+        "--schedulers",
+        nargs="+",
+        default=list(PAPER_HEURISTICS),
+        metavar="NAME",
+        help="schedulers of the grid (default: the seven paper heuristics)",
+    )
+    parser.add_argument(
+        "--scenarios",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="scenarios of the grid (default: every registered scenario)",
+    )
+    parser.add_argument("--seeds", type=int, default=5, help="seeds per grid cell")
+    parser.add_argument("--tasks", type=int, default=40, help="tasks per grid case")
+    parser.add_argument(
+        "--random", type=int, default=0, metavar="N",
+        help="additionally run N randomized cases (seeded, reproducible)",
+    )
+    parser.add_argument(
+        "--random-seed", type=int, default=0, help="seed of the randomized corpus"
+    )
+    parser.add_argument(
+        "--backend", default="array", help="candidate backend to verify"
+    )
+    parser.add_argument(
+        "--skip-grid", action="store_true", help="run only the randomized corpus"
+    )
+    args = parser.parse_args(argv)
+
+    failures = 0
+    if not args.skip_grid:
+        jobs = grid_cases(
+            schedulers=args.schedulers,
+            scenarios=args.scenarios,
+            seeds=args.seeds,
+            n_tasks=args.tasks,
+        )
+        failures += _report("grid", jobs, compare_backends(jobs, candidate=args.backend))
+    if args.random > 0:
+        jobs = random_cases(args.random, seed=args.random_seed)
+        failures += _report(
+            "random", jobs, compare_backends(jobs, candidate=args.backend)
+        )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""Golden-trace regression corpus: canonical traces under ``tests/golden/``.
+
+The corpus pins the engine's *exact* event-level behaviour — one JSON file
+per built-in scenario, each holding the canonical trace rows (see
+:func:`repro.core.kernel.trace_rows`) of all seven paper heuristics on a
+fixed platform and seed.  ``tests/test_golden_traces.py`` replays the corpus
+on every run; any engine change that moves a single float shows up as a
+focused diff of the committed JSON instead of a distant metric drift.
+
+Intentional engine changes update the corpus in one reviewed diff::
+
+    PYTHONPATH=src python tools/golden_traces.py --regen
+
+and ``--check`` (the default) verifies the committed files, exiting
+non-zero on drift — the same comparison the test-suite performs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np  # noqa: E402  (path bootstrap above)
+
+from repro.core.engine import simulate  # noqa: E402
+from repro.core.kernel import trace_rows  # noqa: E402
+from repro.core.platform import Platform  # noqa: E402
+from repro.scenarios import create_scenario  # noqa: E402
+from repro.schedulers.base import PAPER_HEURISTICS, create_scheduler  # noqa: E402
+
+__all__ = ["GOLDEN_DIR", "GOLDEN_SCENARIOS", "build_corpus", "main"]
+
+#: Where the committed corpus lives.
+GOLDEN_DIR = Path(__file__).resolve().parent.parent / "tests" / "golden"
+
+#: The three built-in scenarios the corpus covers: the static baseline plus
+#: the two dynamic archetypes (gradual speed decay, hard outage).
+GOLDEN_SCENARIOS = ("static", "degrading-worker", "node-failure")
+
+#: Fixed corpus parameters — part of each file's recorded provenance.
+GOLDEN_PLATFORM = {"comm": [0.05, 0.09, 0.07, 0.12], "comp": [0.6, 1.1, 0.9, 1.4]}
+GOLDEN_TASKS = 25
+GOLDEN_SEED = 7
+
+
+def build_corpus() -> Dict[str, Dict]:
+    """Compute the full corpus: ``{scenario: payload}`` with trace rows.
+
+    Each payload records its generation parameters next to the traces, so a
+    reviewer can reproduce any file from the JSON alone.
+    """
+    platform = Platform.from_times(GOLDEN_PLATFORM["comm"], GOLDEN_PLATFORM["comp"])
+    corpus: Dict[str, Dict] = {}
+    for scenario_name in GOLDEN_SCENARIOS:
+        scenario = create_scenario(scenario_name)
+        instance = scenario.build(
+            platform, GOLDEN_TASKS, np.random.default_rng(GOLDEN_SEED)
+        )
+        traces: Dict[str, List[List[float]]] = {}
+        for name in PAPER_HEURISTICS:
+            schedule = simulate(
+                create_scheduler(name),
+                platform,
+                instance.tasks,
+                expose_task_count=True,
+                timeline=instance.timeline,
+            )
+            traces[name] = trace_rows(schedule)
+        corpus[scenario_name] = {
+            "scenario": scenario_name,
+            "platform": GOLDEN_PLATFORM,
+            "n_tasks": GOLDEN_TASKS,
+            "seed": GOLDEN_SEED,
+            "traces": traces,
+        }
+    return corpus
+
+
+def _path_for(scenario_name: str) -> Path:
+    return GOLDEN_DIR / f"{scenario_name}.json"
+
+
+def _write(corpus: Dict[str, Dict]) -> None:
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    for scenario_name, payload in corpus.items():
+        _path_for(scenario_name).write_text(
+            json.dumps(payload, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {_path_for(scenario_name)}")
+
+
+def _check(corpus: Dict[str, Dict]) -> int:
+    drift = 0
+    for scenario_name, payload in corpus.items():
+        path = _path_for(scenario_name)
+        if not path.exists():
+            print(f"MISSING {path} (run with --regen)")
+            drift += 1
+            continue
+        committed = json.loads(path.read_text(encoding="utf-8"))
+        if committed == payload:
+            print(f"ok      {path}")
+            continue
+        drift += 1
+        for name in PAPER_HEURISTICS:
+            if committed.get("traces", {}).get(name) != payload["traces"][name]:
+                print(f"DRIFT   {path}: {name} trace changed")
+    return drift
+
+
+def main(argv=None) -> int:
+    """CLI entry point: check the committed corpus or regenerate it."""
+    parser = argparse.ArgumentParser(
+        description="Check or regenerate the golden-trace corpus in tests/golden/."
+    )
+    parser.add_argument(
+        "--regen",
+        action="store_true",
+        help="rewrite the corpus from the current engine (default: check only)",
+    )
+    args = parser.parse_args(argv)
+
+    corpus = build_corpus()
+    if args.regen:
+        _write(corpus)
+        return 0
+    return 1 if _check(corpus) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -4,15 +4,23 @@
 Runs a small, fixed set of named benchmarks and writes their timings to a
 JSON file (default ``BENCH_service.json``) with the schema::
 
-    {bench_name: {"mean_s": float, "runs": int, "params": {...}}}
+    {"_meta": {"git_sha": str, "runs": int},
+     bench_name: {"mean_s": float, "min_s": float, "max_s": float,
+                  "runs": int, "params": {...}}}
 
 so future PRs can diff performance against the committed baseline instead
-of guessing.  Wall-clock numbers are hardware-dependent — the file is a
-*trajectory*, not a gate; CI runs this script in informational mode only.
+of guessing.  ``min_s`` is the noise-robust statistic to compare across
+commits; ``mean_s``/``max_s`` expose the jitter of the recording machine,
+and ``_meta.git_sha`` pins which commit produced the numbers.  Wall-clock
+numbers are hardware-dependent — the file is a *trajectory*, not a gate;
+CI runs this script in informational mode only.
 
 The suite covers the layers a serving regression could hide in:
 
 * ``engine_simulate`` — the raw one-port engine (1000-task bag, 5 workers);
+* ``engine_simulate_batched`` — the same workload, 64 jobs at once through
+  the ``array`` kernel backend vs. the reference kernel; records the
+  ``speedup_vs_reference`` of the vectorized lockstep pass;
 * ``request_canonicalize`` — request validation + canonical hashing, the
   per-request overhead every service call pays;
 * ``service_unique_stream`` — the dispatcher on an all-miss stream
@@ -30,6 +38,7 @@ from __future__ import annotations
 import argparse
 import io
 import json
+import subprocess
 import sys
 import time
 from pathlib import Path
@@ -38,6 +47,7 @@ from typing import Any, Callable, Dict, List
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.core.engine import simulate  # noqa: E402  (path bootstrap above)
+from repro.core.kernel import KernelJob, create_kernel  # noqa: E402
 from repro.core.platform import Platform  # noqa: E402
 from repro.schedulers.base import create_scheduler  # noqa: E402
 from repro.service.cache import LRUResultCache  # noqa: E402
@@ -48,22 +58,49 @@ from repro.service.streams import synthetic_request_lines  # noqa: E402
 from repro.workloads.release import all_at_zero  # noqa: E402
 
 
-def _time(fn: Callable[[], Any], runs: int) -> float:
-    """Mean wall-clock seconds of ``fn`` over ``runs`` calls (1 warm-up)."""
+def _time(fn: Callable[[], Any], runs: int) -> Dict[str, float]:
+    """Wall-clock stats of ``fn`` over ``runs`` calls (1 warm-up).
+
+    Returns ``{"mean_s", "min_s", "max_s"}``; ``min_s`` is the statistic to
+    diff across commits (least sensitive to scheduler noise on the
+    recording machine).
+    """
     fn()  # warm-up: imports, pools, caches
-    total = 0.0
+    samples = []
     for _ in range(runs):
         start = time.perf_counter()
         fn()
-        total += time.perf_counter() - start
-    return total / runs
+        samples.append(time.perf_counter() - start)
+    return {
+        "mean_s": sum(samples) / runs,
+        "min_s": min(samples),
+        "max_s": max(samples),
+    }
+
+
+def _git_sha() -> str:
+    """The repository HEAD at recording time, or ``"unknown"``."""
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent.parent,
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout.strip()
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def _bench_platform() -> Platform:
+    return Platform.from_times(
+        [0.05, 0.06, 0.07, 0.08, 0.09], [0.5, 0.75, 1.0, 1.25, 1.5]
+    )
 
 
 def bench_engine_simulate(runs: int) -> Dict[str, Any]:
     """Raw engine cost: 1000-task bag on a 5-worker heterogeneous platform."""
-    platform = Platform.from_times(
-        [0.05, 0.06, 0.07, 0.08, 0.09], [0.5, 0.75, 1.0, 1.25, 1.5]
-    )
+    platform = _bench_platform()
     tasks = all_at_zero(1000)
     scheduler = create_scheduler("LS")
 
@@ -71,9 +108,42 @@ def bench_engine_simulate(runs: int) -> Dict[str, Any]:
         simulate(scheduler, platform, tasks, expose_task_count=True)
 
     return {
-        "mean_s": _time(run, runs),
+        **_time(run, runs),
         "runs": runs,
         "params": {"n_tasks": 1000, "n_workers": 5, "scheduler": "LS"},
+    }
+
+
+def bench_engine_simulate_batched(runs: int) -> Dict[str, Any]:
+    """64 engine_simulate workloads at once: array kernel vs. reference.
+
+    Records the ``array`` backend's batch time plus the reference kernel's
+    on the identical job list, and their ratio (``speedup_vs_reference``,
+    computed from ``min_s`` of each).  The two backends are trace-equal by
+    contract (``tests/differential/``), so the ratio compares pure
+    execution strategy, not output.
+    """
+    platform = _bench_platform()
+    tasks = all_at_zero(1000)
+    jobs = [KernelJob("LS", platform, tasks) for _ in range(64)]
+    array_kernel = create_kernel("array")
+    reference_kernel = create_kernel("reference")
+
+    batched = _time(lambda: array_kernel.run_batch(jobs), runs)
+    reference = _time(lambda: reference_kernel.run_batch(jobs), runs)
+    return {
+        **batched,
+        "reference_mean_s": reference["mean_s"],
+        "reference_min_s": reference["min_s"],
+        "speedup_vs_reference": reference["min_s"] / batched["min_s"],
+        "runs": runs,
+        "params": {
+            "batch": 64,
+            "n_tasks": 1000,
+            "n_workers": 5,
+            "scheduler": "LS",
+            "backend": "array",
+        },
     }
 
 
@@ -86,7 +156,7 @@ def bench_request_canonicalize(runs: int) -> Dict[str, Any]:
             canonicalize_request(payload)
 
     return {
-        "mean_s": _time(run, runs),
+        **_time(run, runs),
         "runs": runs,
         "params": {"n_requests": 1000},
     }
@@ -105,7 +175,7 @@ def bench_service_unique_stream(runs: int, n_requests: int) -> Dict[str, Any]:
         _serve(lines, LRUResultCache(max_entries=4 * n_requests))
 
     return {
-        "mean_s": _time(run, runs),
+        **_time(run, runs),
         "runs": runs,
         "params": {"n_requests": n_requests, "cache": "cold"},
     }
@@ -121,7 +191,7 @@ def bench_service_cached_stream(runs: int, n_requests: int) -> Dict[str, Any]:
         _serve(lines, cache)
 
     return {
-        "mean_s": _time(run, runs),
+        **_time(run, runs),
         "runs": runs,
         "params": {"n_requests": n_requests, "cache": "warm"},
     }
@@ -130,7 +200,9 @@ def bench_service_cached_stream(runs: int, n_requests: int) -> Dict[str, Any]:
 def run_suite(runs: int, n_requests: int) -> Dict[str, Dict[str, Any]]:
     """Execute every benchmark; returns the ``BENCH_service.json`` payload."""
     return {
+        "_meta": {"git_sha": _git_sha(), "runs": runs},
         "engine_simulate": bench_engine_simulate(runs),
+        "engine_simulate_batched": bench_engine_simulate_batched(runs),
         "request_canonicalize": bench_request_canonicalize(runs),
         "service_unique_stream": bench_service_unique_stream(runs, n_requests),
         "service_cached_stream": bench_service_cached_stream(runs, n_requests),
@@ -159,9 +231,17 @@ def main(argv=None) -> int:
     Path(args.output).write_text(
         json.dumps(results, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
-    width = max(len(name) for name in results)
-    for name, entry in sorted(results.items()):
-        print(f"{name:<{width}}  {entry['mean_s'] * 1e3:9.2f} ms  (x{entry['runs']})")
+    benches = {name: entry for name, entry in results.items() if name != "_meta"}
+    width = max(len(name) for name in benches)
+    for name, entry in sorted(benches.items()):
+        extra = ""
+        if "speedup_vs_reference" in entry:
+            extra = f"  ({entry['speedup_vs_reference']:.1f}x vs reference)"
+        print(
+            f"{name:<{width}}  {entry['mean_s'] * 1e3:9.2f} ms  "
+            f"(min {entry['min_s'] * 1e3:.2f}, x{entry['runs']}){extra}"
+        )
+    print(f"git sha: {results['_meta']['git_sha']}")
     print(f"wrote {args.output}")
     return 0
 
