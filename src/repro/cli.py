@@ -56,10 +56,12 @@ from .experiments.sweep import run_heterogeneity_sweep
 from .experiments.table1 import run_table1
 from .scenarios import available_scenarios, create_scenario
 from .schedulers.base import PAPER_HEURISTICS, available_schedulers, create_scheduler
+from .service.async_server import main_serve_forever, parse_address
 from .service.cache import LRUResultCache
 from .service.dispatcher import ScheduleService
 from .service.schema import RELEASE_PROCESSES, canonicalize_request
 from .service.server import response_line, serve_stream
+from .service.sharding import ShardedClient
 from .workloads.release import all_at_zero
 
 __all__ = ["build_parser", "main"]
@@ -246,7 +248,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = subparsers.add_parser(
         "serve",
-        help="run the scheduling service as a JSONL request loop on stdin/stdout",
+        help="run the scheduling service (stdin/stdout loop, or --listen for TCP)",
         description=(
             "Read one JSON schedule request per stdin line, write one JSON "
             "response per stdout line, in submission order.  Requests are "
@@ -254,7 +256,30 @@ def build_parser() -> argparse.ArgumentParser:
             "key), served from a bounded LRU result cache when possible, "
             "coalesced when identical requests are in flight, and fanned "
             "out over a process pool.  The response stream is byte-identical "
-            "for any --workers value; statistics go to stderr."
+            "for any --workers value; statistics go to stderr.  With "
+            "--listen HOST:PORT the same protocol is served as a persistent "
+            "JSONL-over-TCP socket (concurrent connections, bounded "
+            "per-connection backpressure, graceful drain on SIGTERM); "
+            "--shards N boots N such server processes on consecutive ports, "
+            "each owning a slice of the cache keyspace."
+        ),
+    )
+    serve.add_argument(
+        "--listen",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "serve JSONL over a persistent TCP socket at this address "
+            "instead of the one-shot stdin/stdout loop"
+        ),
+    )
+    serve.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=1,
+        help=(
+            "with --listen: number of shard server processes on consecutive "
+            "ports (shard i listens on PORT+i; requests route by canonical key)"
         ),
     )
     serve.add_argument(
@@ -367,6 +392,32 @@ def build_parser() -> argparse.ArgumentParser:
         "--emit",
         action="store_true",
         help="print the request as a JSONL line instead of executing it",
+    )
+    request.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "send the request to a persistent server (repro serve --listen) "
+            "instead of executing it in-process"
+        ),
+    )
+    request.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=1,
+        help=(
+            "with --connect: shard count of the server topology "
+            "(shard i listens on PORT+i; the request routes by canonical key)"
+        ),
+    )
+    request.add_argument(
+        "--stats",
+        action="store_true",
+        help=(
+            "with --connect: query every shard's stats/health request type "
+            "instead of sending a schedule request (one JSON line per shard)"
+        ),
     )
 
     demo = subparsers.add_parser("demo", help="run one scheduler and print a Gantt chart")
@@ -537,6 +588,87 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_service(args: argparse.Namespace) -> ScheduleService:
+    """One dispatcher configured from the ``repro serve`` flags."""
+    cache = (
+        LRUResultCache(max_entries=args.cache_size, ttl=args.ttl)
+        if args.cache_size
+        else None
+    )
+    return ScheduleService(
+        workers=args.workers,
+        batch_size=args.batch_size,
+        max_queue=args.max_queue,
+        cache=cache,
+        max_cost=args.max_cost,
+        engine_backend=args.engine_backend,
+    )
+
+
+def _serve_flag_argv(args: argparse.Namespace) -> List[str]:
+    """Re-encode the service flags for a shard child process."""
+    argv = [
+        "--workers", str(args.workers),
+        "--batch-size", str(args.batch_size),
+        "--max-queue", str(args.max_queue),
+        "--cache-size", str(args.cache_size),
+        "--engine-backend", args.engine_backend,
+    ]
+    if args.ttl is not None:
+        argv += ["--ttl", str(args.ttl)]
+    if args.max_cost is not None:
+        argv += ["--max-cost", str(args.max_cost)]
+    if args.quiet:
+        argv.append("--quiet")
+    return argv
+
+
+def _run_shard_supervisor(args: argparse.Namespace, host: str, port: int) -> int:
+    """Boot ``--shards`` server child processes and supervise them.
+
+    Shard ``i`` listens on ``port + i``.  SIGTERM/SIGINT is forwarded to
+    every child (each drains gracefully); a child dying does NOT take the
+    others down — healthy shards keep serving, which is what the client's
+    ``shard-unavailable`` failover relies on.
+    """
+    import signal
+    import subprocess
+
+    if port == 0:
+        print(
+            "error: --shards > 1 needs an explicit base port (shard i "
+            "listens on PORT+i)",
+            file=sys.stderr,
+        )
+        return 2
+    import os
+
+    processes = []
+    for index in range(args.shards):
+        command = [
+            sys.executable, "-m", "repro", "serve",
+            "--listen", f"{host}:{port + index}", "--shards", "1",
+        ] + _serve_flag_argv(args)
+        # Shard identity rides on the environment so the child's stats
+        # responses report its slot without extra CLI surface.
+        env = dict(os.environ)
+        env["REPRO_SHARD_INDEX"] = str(index)
+        env["REPRO_SHARD_COUNT"] = str(args.shards)
+        processes.append(subprocess.Popen(command, env=env))
+    for index in range(args.shards):
+        print(f"shard {index + 1}/{args.shards}: {host}:{port + index}", file=sys.stderr)
+
+    def _forward(signum, frame):  # noqa: ANN001 - signal handler signature
+        for process in processes:
+            if process.poll() is None:
+                process.send_signal(signal.SIGTERM)
+
+    signal.signal(signal.SIGTERM, _forward)
+    signal.signal(signal.SIGINT, _forward)
+    exit_codes = [process.wait() for process in processes]
+    return 0 if all(code == 0 for code in exit_codes) else 1
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     if args.max_queue < args.batch_size:
         print(
@@ -545,18 +677,39 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    cache = LRUResultCache(max_entries=args.cache_size, ttl=args.ttl) if args.cache_size else None
-    with ScheduleService(
-        workers=args.workers,
-        batch_size=args.batch_size,
-        max_queue=args.max_queue,
-        cache=cache,
-        max_cost=args.max_cost,
-        engine_backend=args.engine_backend,
-    ) as service:
-        serve_stream(
-            sys.stdin, service, sys.stdout, err=None if args.quiet else sys.stderr
+    if args.listen is None:
+        if args.shards != 1:
+            print("error: --shards requires --listen", file=sys.stderr)
+            return 2
+        with _build_service(args) as service:
+            serve_stream(
+                sys.stdin, service, sys.stdout, err=None if args.quiet else sys.stderr
+            )
+        return 0
+
+    try:
+        host, port = parse_address(args.listen)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.shards > 1:
+        return _run_shard_supervisor(args, host, port)
+
+    import os
+
+    shard_index = int(os.environ.get("REPRO_SHARD_INDEX", "0"))
+    shard_count = int(os.environ.get("REPRO_SHARD_COUNT", "1"))
+    with _build_service(args) as service:
+        main_serve_forever(
+            service,
+            host,
+            port,
+            shard_index=shard_index,
+            shard_count=shard_count,
+            err=sys.stderr,
         )
+        if not args.quiet:
+            print(service.stats.summary(), file=sys.stderr)
     return 0
 
 
@@ -585,7 +738,50 @@ def _request_payload(args: argparse.Namespace) -> dict:
     return payload
 
 
+def _cmd_request_connected(args: argparse.Namespace) -> int:
+    """Send one request (or a stats query) to a persistent sharded server."""
+    import asyncio
+    import json
+
+    try:
+        host, port = parse_address(args.connect)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    async def go() -> List[str]:
+        async with ShardedClient.from_base(host, port, args.shards) as client:
+            if args.stats:
+                payloads = await client.stats(args.id)
+                return [canonical_json(payload) for payload in payloads]
+            line = canonical_json(_request_payload(args))
+            return [await (await client.submit(line))]
+
+    try:
+        lines = asyncio.run(go())
+    except (OSError, asyncio.TimeoutError) as exc:
+        print(f"error: cannot reach {host}:{port}: {exc}", file=sys.stderr)
+        return 2
+    for line in lines:
+        print(line)
+    if args.stats:
+        return 0
+    response = json.loads(lines[0])
+    if response["status"] != "ok":
+        print(f"error: {response['error']['message']}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def _cmd_request(args: argparse.Namespace) -> int:
+    if args.stats and args.connect is None:
+        print("error: --stats requires --connect", file=sys.stderr)
+        return 2
+    if args.connect is not None:
+        if args.emit:
+            print("error: --emit and --connect are mutually exclusive", file=sys.stderr)
+            return 2
+        return _cmd_request_connected(args)
     payload = _request_payload(args)
     if args.emit:
         # Validate before emitting, so a malformed flag combination fails

@@ -17,7 +17,15 @@ ROADMAP's "serve heavy traffic" north star.  Five pieces compose:
   duplicate coalescing, and a process-pool fan-out whose response stream is
   byte-identical for any worker count;
 * :mod:`~repro.service.server` — the JSONL stdin/stdout request loop
-  behind ``repro serve``.
+  behind ``repro serve``;
+* :mod:`~repro.service.async_server` — the **persistent asyncio
+  JSONL-over-TCP server** (``repro serve --listen``): concurrent
+  connections with bounded per-connection backpressure, a stats/health
+  request type, and graceful drain on SIGTERM;
+* :mod:`~repro.service.sharding` — **shard-by-canonical-key** routing
+  (stable content-hash shard assignment) plus the client-side
+  :class:`~repro.service.sharding.ShardedClient` that routes requests
+  over N shard servers and merges response streams in submission order.
 
 See ``docs/SERVICE.md`` for the request schema and the determinism/caching
 contract.
@@ -25,31 +33,56 @@ contract.
 
 from __future__ import annotations
 
+from .async_server import AsyncScheduleServer, ServerStats, parse_address, run_server
 from .cache import LRUResultCache
 from .dispatcher import ScheduleService, ServiceStats
 from .executor import execute_config, execute_request, request_rng
 from .schema import (
     RELEASE_PROCESSES,
     SCHEMA_VERSION,
+    STATS_REQUEST_TYPE,
     ScheduleRequest,
     build_tasks,
     canonicalize_request,
+    is_stats_request,
+    stats_request,
 )
 from .server import response_line, serve_lines, serve_stream
+from .sharding import (
+    ShardedClient,
+    shard_addresses,
+    shard_for_line,
+    shard_for_payload,
+    shard_index,
+    shard_unavailable_response,
+)
 
 __all__ = [
+    "AsyncScheduleServer",
     "LRUResultCache",
     "RELEASE_PROCESSES",
     "SCHEMA_VERSION",
+    "STATS_REQUEST_TYPE",
     "ScheduleRequest",
     "ScheduleService",
+    "ServerStats",
     "ServiceStats",
+    "ShardedClient",
     "build_tasks",
     "canonicalize_request",
     "execute_config",
     "execute_request",
+    "is_stats_request",
+    "parse_address",
     "request_rng",
     "response_line",
+    "run_server",
     "serve_lines",
     "serve_stream",
+    "shard_addresses",
+    "shard_for_line",
+    "shard_for_payload",
+    "shard_index",
+    "shard_unavailable_response",
+    "stats_request",
 ]

@@ -24,14 +24,26 @@ pure function of its canonical request, so the response *stream* is a pure
 function of the request stream and the pump schedule.  Worker count, cache
 state, coalescing and TTL expiry change only latency and the statistics —
 ``--workers 4`` and ``--workers 1`` produce byte-identical stdout.
+
+Thread safety: all queue, cache, pool and statistics state is guarded by an
+internal re-entrant lock, so :meth:`~ScheduleService.submit`,
+:meth:`~ScheduleService.pump` and :meth:`~ScheduleService.drain` may be
+driven concurrently from executor threads (the persistent asyncio server
+does exactly that).  Simulations themselves run *outside* the lock, so
+concurrent pumps overlap their compute.  Note that raw ``submit``/``drain``
+calls from several threads interleave their *attribution* — a drain returns
+whatever is queued, whoever queued it; a caller that needs "exactly my
+responses, in my order" must use :meth:`~ScheduleService.serve_chunk`,
+which makes the submit-then-drain sequence atomic.
 """
 
 from __future__ import annotations
 
 import json
+import threading
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Dict, List, Mapping, Optional, Union
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
 
 from ..exceptions import (
     RequestValidationError,
@@ -168,6 +180,12 @@ class ScheduleService:
         self.stats = ServiceStats()
         self._entries: List[_Entry] = []
         self._pool: Optional[ProcessPoolExecutor] = None
+        # Guards queue/cache/pool/statistics state.  Re-entrant because
+        # locked sections call properties (``pending``) that lock again.
+        self._lock = threading.RLock()
+        # Serializes whole submit-then-drain sequences (serve_chunk), so
+        # concurrent chunks never steal each other's responses.
+        self._chunk_lock = threading.Lock()
 
     # -- submission / admission ---------------------------------------------
     def submit(self, raw: Union[str, bytes, Mapping[str, Any]]) -> None:
@@ -177,7 +195,6 @@ class ScheduleService:
         pre-resolved error/rejection responses so the output stream stays
         one response per request, in order.
         """
-        self.stats.received += 1
         request_id: Optional[str] = None
         try:
             if isinstance(raw, (str, bytes)):
@@ -191,32 +208,38 @@ class ScheduleService:
                 request_id = payload["id"]
             request = canonicalize_request(payload)
         except RequestValidationError as exc:
-            self.stats.invalid += 1
-            self._entries.append(
-                _Entry(
-                    response=self._response(
-                        "error", request_id, error=_error_body("request-invalid", str(exc))
+            with self._lock:
+                self.stats.received += 1
+                self.stats.invalid += 1
+                self._entries.append(
+                    _Entry(
+                        response=self._response(
+                            "error",
+                            request_id,
+                            error=_error_body("request-invalid", str(exc)),
+                        )
                     )
                 )
-            )
             return
 
-        try:
-            self._check_admission(request)
-        except ServiceOverloadedError as exc:
-            self.stats.rejected += 1
-            self._entries.append(
-                _Entry(
-                    response=self._response(
-                        "rejected",
-                        request.request_id,
-                        error=_error_body("service-overloaded", str(exc)),
+        with self._lock:
+            self.stats.received += 1
+            try:
+                self._check_admission(request)
+            except ServiceOverloadedError as exc:
+                self.stats.rejected += 1
+                self._entries.append(
+                    _Entry(
+                        response=self._response(
+                            "rejected",
+                            request.request_id,
+                            error=_error_body("service-overloaded", str(exc)),
+                        )
                     )
                 )
-            )
-            return
+                return
 
-        self._entries.append(_Entry(request=request))
+            self._entries.append(_Entry(request=request))
 
     def _check_admission(self, request: ScheduleRequest) -> None:
         """Raise :class:`~repro.exceptions.ServiceOverloadedError` on shed."""
@@ -234,12 +257,14 @@ class ScheduleService:
     @property
     def pending(self) -> int:
         """Unresolved queued requests (the admission-controlled backlog)."""
-        return sum(1 for entry in self._entries if entry.response is None)
+        with self._lock:
+            return sum(1 for entry in self._entries if entry.response is None)
 
     @property
     def buffered(self) -> int:
         """Queued entries of any kind, including pre-resolved responses."""
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def ready(self) -> bool:
         """True when a full batch is queued and :meth:`pump` should run."""
@@ -247,74 +272,117 @@ class ScheduleService:
 
     # -- execution ----------------------------------------------------------
     def pump(self) -> List[Dict[str, Any]]:
-        """Resolve the oldest batch; responses in submission order."""
-        batch, self._entries = (
-            self._entries[: self.batch_size],
-            self._entries[self.batch_size:],
-        )
-        if not batch:
-            return []
+        """Resolve the oldest batch; responses in submission order.
 
-        # 1. cache pass + coalescing groups (first occurrence is primary)
-        groups: "Dict[str, List[_Entry]]" = {}
-        for entry in batch:
-            if entry.response is not None:
-                continue
-            request = entry.request
-            assert request is not None
-            cached = self.cache.get(request.key) if self.cache is not None else None
-            if cached is not None:
-                self.stats.cache_hits += 1
-                # Fresh copy per response: a caller mutating its response
-                # must never rewrite the cached value or a sibling's view.
-                entry.response = self._response(
-                    "ok", request.request_id, key=request.key, metrics=dict(cached)
-                )
-                self.stats.ok += 1
-            else:
-                self.stats.cache_misses += 1
-                groups.setdefault(request.key, []).append(entry)
+        The batch is extracted from the queue and the cache pass runs under
+        the internal lock (a concurrent ``submit`` can therefore never be
+        lost between the two queue slices — the drain race the asyncio
+        server would otherwise hit); the simulations themselves run outside
+        it, so concurrent pumps overlap their compute.
+        """
+        with self._lock:
+            batch, self._entries = (
+                self._entries[: self.batch_size],
+                self._entries[self.batch_size:],
+            )
+            if not batch:
+                return []
 
-        # 2. one simulation per unique canonical key
-        results = self._run_unique({k: v[0].request for k, v in groups.items()})
-
-        # 3. fan results back out to every coalesced duplicate
-        for key, entries in groups.items():
-            result = results[key]
-            self.stats.coalesced += len(entries) - 1
-            if isinstance(result, Exception):
-                for entry in entries:
-                    assert entry.request is not None
+            # 1. cache pass + coalescing groups (first occurrence is primary)
+            groups: "Dict[str, List[_Entry]]" = {}
+            for entry in batch:
+                if entry.response is not None:
+                    continue
+                request = entry.request
+                assert request is not None
+                cached = self.cache.get(request.key) if self.cache is not None else None
+                if cached is not None:
+                    self.stats.cache_hits += 1
+                    # Fresh copy per response: a caller mutating its response
+                    # must never rewrite the cached value or a sibling's view.
                     entry.response = self._response(
-                        "error",
-                        entry.request.request_id,
-                        key=key,
-                        error=_error_body("execution-error", str(result)),
-                    )
-                    self.stats.failed += 1
-            else:
-                if self.cache is not None:
-                    self.cache.put(key, dict(result))
-                for entry in entries:
-                    assert entry.request is not None
-                    entry.response = self._response(
-                        "ok", entry.request.request_id, key=key, metrics=dict(result)
+                        "ok", request.request_id, key=request.key, metrics=dict(cached)
                     )
                     self.stats.ok += 1
+                else:
+                    self.stats.cache_misses += 1
+                    groups.setdefault(request.key, []).append(entry)
+            primaries = {k: v[0].request for k, v in groups.items()}
 
-        responses = []
-        for entry in batch:
-            assert entry.response is not None
-            responses.append(entry.response)
-        self.stats.responded += len(responses)
+        # 2. one simulation per unique canonical key (lock released: the
+        #    compute stage is the slow part and is safe to overlap)
+        results = self._run_unique(primaries)
+
+        # 3. fan results back out to every coalesced duplicate
+        with self._lock:
+            for key, entries in groups.items():
+                result = results[key]
+                self.stats.coalesced += len(entries) - 1
+                if isinstance(result, Exception):
+                    for entry in entries:
+                        assert entry.request is not None
+                        entry.response = self._response(
+                            "error",
+                            entry.request.request_id,
+                            key=key,
+                            error=_error_body("execution-error", str(result)),
+                        )
+                        self.stats.failed += 1
+                else:
+                    if self.cache is not None:
+                        self.cache.put(key, dict(result))
+                    for entry in entries:
+                        assert entry.request is not None
+                        entry.response = self._response(
+                            "ok", entry.request.request_id, key=key, metrics=dict(result)
+                        )
+                        self.stats.ok += 1
+
+            responses = []
+            for entry in batch:
+                assert entry.response is not None
+                responses.append(entry.response)
+            self.stats.responded += len(responses)
         return responses
 
     def drain(self) -> List[Dict[str, Any]]:
         """Pump until the queue is empty; all responses in order."""
         responses: List[Dict[str, Any]] = []
-        while self._entries:
+        while self.buffered:
             responses.extend(self.pump())
         return responses
+
+    def serve_chunk(
+        self, raws: Iterable[Union[str, bytes, Mapping[str, Any]]]
+    ) -> List[Dict[str, Any]]:
+        """Atomically submit a chunk of raw requests and drain their responses.
+
+        This is the entry point for concurrent transports (one chunk per
+        connection read): the submit-then-drain sequence runs under a chunk
+        lock, so the returned list is exactly one response per submitted
+        request, in submission order, even when many threads serve chunks
+        at once.  Mixing ``serve_chunk`` with raw :meth:`submit` calls from
+        other threads forfeits that attribution (their entries would drain
+        into whichever chunk is active).
+        """
+        with self._chunk_lock:
+            for raw in raws:
+                self.submit(raw)
+            return self.drain()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Consistent point-in-time statistics (service, backlog, cache).
+
+        Taken under the internal lock so a concurrent pump can never be
+        observed half-applied; this is what the persistent server's stats
+        request type reports per shard.
+        """
+        with self._lock:
+            return {
+                "service": self.stats.as_dict(),
+                "pending": self.pending,
+                "cache": None if self.cache is None else self.cache.stats(),
+            }
 
     def _run_unique(
         self, primaries: Mapping[str, Optional[ScheduleRequest]]
@@ -330,7 +398,8 @@ class ScheduleService:
         results: Dict[str, Any] = {}
         if not primaries:
             return results
-        self.stats.simulations += len(primaries)
+        with self._lock:
+            self.stats.simulations += len(primaries)
         if self.engine_backend != "reference":
             return self._run_unique_batched(primaries)
         if self.workers == 1 or len(primaries) == 1:
@@ -403,11 +472,12 @@ class ScheduleService:
         return results
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            # workers == 0 mirrors the campaign convention: all CPUs,
-            # resolved by the pool itself.
-            self._pool = ProcessPoolExecutor(max_workers=self.workers or None)
-        return self._pool
+        with self._lock:
+            if self._pool is None:
+                # workers == 0 mirrors the campaign convention: all CPUs,
+                # resolved by the pool itself.
+                self._pool = ProcessPoolExecutor(max_workers=self.workers or None)
+            return self._pool
 
     def _response(
         self, status: str, request_id: Optional[str], **extra: Any
@@ -423,9 +493,10 @@ class ScheduleService:
     # -- lifecycle ----------------------------------------------------------
     def close(self) -> None:
         """Shut the worker pool down (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown()
 
     def __enter__(self) -> "ScheduleService":
         """Context-manager entry: the service itself."""

@@ -44,9 +44,13 @@ from ..workloads import release
 __all__ = [
     "SCHEMA_VERSION",
     "RELEASE_PROCESSES",
+    "STATS_REQUEST_TYPE",
     "ScheduleRequest",
     "canonicalize_request",
     "build_tasks",
+    "is_stats_request",
+    "stats_request",
+    "stats_request_id",
 ]
 
 #: Current (and only) request schema version.  Bump on any change to the
@@ -68,6 +72,14 @@ RELEASE_PROCESSES: Dict[str, Dict[str, Tuple[str, Any, str]]] = {
     },
     "saturating": {"load_factor": ("float", 1.0, "positive")},
 }
+
+#: ``{"type": "stats"}`` marks a *control request*: instead of scheduling a
+#: simulation it asks the serving transport for its health/statistics
+#: payload (uptime, shard identity, cache hit/miss, inflight, shed count).
+#: Control requests are a transport-level concept — the persistent asyncio
+#: server answers them in stream position; the plain stdin/stdout loop has
+#: no server state to report and treats them as invalid schedule requests.
+STATS_REQUEST_TYPE = "stats"
 
 #: Top-level request fields that are *transport metadata*: echoed in the
 #: response, excluded from the canonical configuration and the cache key.
@@ -305,6 +317,32 @@ def canonicalize_request(raw: Any) -> ScheduleRequest:
         "seed": seed,
     }
     return ScheduleRequest(config=config, request_id=request_id, arrival=arrival)
+
+
+def is_stats_request(payload: Any) -> bool:
+    """True when ``payload`` is a ``{"type": "stats"}`` control request.
+
+    Used by serving transports *before* :func:`canonicalize_request`: a
+    stats request never becomes a :class:`ScheduleRequest` (it has no
+    canonical configuration and must not occupy a cache key).
+    """
+    return isinstance(payload, Mapping) and payload.get("type") == STATS_REQUEST_TYPE
+
+
+def stats_request(request_id: Optional[str] = None) -> Dict[str, Any]:
+    """Build one stats control-request payload (optionally correlated)."""
+    payload: Dict[str, Any] = {"type": STATS_REQUEST_TYPE}
+    if request_id is not None:
+        payload["id"] = request_id
+    return payload
+
+
+def stats_request_id(payload: Any) -> Optional[str]:
+    """The correlation id of a stats control request, if it carries one."""
+    if not isinstance(payload, Mapping):
+        return None
+    request_id = payload.get("id")
+    return request_id if isinstance(request_id, str) else None
 
 
 def build_tasks(request: ScheduleRequest, rng: np.random.Generator) -> TaskSet:

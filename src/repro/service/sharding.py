@@ -1,0 +1,352 @@
+"""Shard-by-canonical-key routing and the client-side shard router.
+
+Horizontal scaling for the scheduling service: N server processes each own
+a **slice of the cache keyspace**.  The slice assignment is pure and
+client-side — no coordination service, no rebalancing protocol:
+
+* :func:`shard_index` maps a canonical request key (the SHA-256 content
+  hash from :mod:`repro._hashing`) onto ``0..n_shards-1`` by taking the
+  hash's leading 64 bits modulo the shard count.  Because the key is a
+  content hash, the assignment is stable across processes, machines,
+  restarts and ``PYTHONHASHSEED`` — the property the shard-routing tests
+  pin down;
+* :func:`shard_for_payload` routes a *raw* request the same way a server
+  would cache it: canonicalize first, so semantically-equal spellings of
+  one request always land on the same shard (and therefore the same
+  cache).  Requests that fail validation route to shard 0 — every shard
+  produces the identical ``request-invalid`` response, so the choice only
+  needs to be deterministic;
+* :class:`ShardedClient` is the thin client-side router: it keeps one
+  connection per shard, routes each submitted line, and hands back
+  responses **in submission order** (per client), whatever order shards
+  answer in.  When a shard dies mid-stream the client resolves that
+  shard's in-flight and future requests with a typed ``shard-unavailable``
+  response — one response per request survives even a shard crash, and
+  healthy shards keep serving.
+
+The topology convention is *consecutive ports*: a shard set is
+``(host, port), (host, port+1), … (host, port+n_shards-1)`` — what
+``repro serve --listen HOST:PORT --shards N`` boots and what
+:meth:`ShardedClient.from_base` connects to.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from collections import deque
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..exceptions import RequestValidationError, ServiceError
+from .schema import SCHEMA_VERSION, canonicalize_request, is_stats_request, stats_request
+from .server import response_line
+
+__all__ = [
+    "shard_index",
+    "shard_for_payload",
+    "shard_for_line",
+    "shard_addresses",
+    "shard_unavailable_response",
+    "ShardedClient",
+]
+
+#: Leading hex digits of the canonical key used for shard assignment
+#: (64 bits — far beyond any realistic shard count).
+_SHARD_KEY_DIGITS = 16
+
+
+def shard_index(key: str, n_shards: int) -> int:
+    """The shard that owns canonical request key ``key`` among ``n_shards``.
+
+    Pure arithmetic on the content hash: ``int(key[:16], 16) % n_shards``.
+    No process state is involved, so the assignment survives restarts and
+    is identical in every client and server.
+    """
+    if n_shards < 1:
+        raise ServiceError(f"n_shards must be >= 1, got {n_shards}")
+    return int(key[:_SHARD_KEY_DIGITS], 16) % n_shards
+
+
+def shard_for_payload(payload: Any, n_shards: int) -> int:
+    """Route one raw request payload: canonicalize, then :func:`shard_index`.
+
+    Canonicalizing *before* hashing is what collapses semantically-equal
+    spellings onto one shard (and one shard-local cache entry).  Payloads
+    that fail validation — and stats control requests, which carry no
+    canonical configuration — deterministically route to shard 0.
+    """
+    if is_stats_request(payload):
+        return 0
+    try:
+        request = canonicalize_request(payload)
+    except RequestValidationError:
+        return 0
+    return shard_index(request.key, n_shards)
+
+
+def shard_for_line(line: str, n_shards: int) -> int:
+    """Route one raw JSONL line (malformed JSON routes to shard 0)."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError:
+        return 0
+    return shard_for_payload(payload, n_shards)
+
+
+def shard_addresses(host: str, port: int, n_shards: int) -> List[Tuple[str, int]]:
+    """The consecutive-port shard set rooted at ``(host, port)``."""
+    if n_shards < 1:
+        raise ServiceError(f"n_shards must be >= 1, got {n_shards}")
+    return [(host, port + index) for index in range(n_shards)]
+
+
+def shard_unavailable_response(
+    shard: int, address: Tuple[str, int], request_id: Optional[str] = None
+) -> Dict[str, Any]:
+    """The typed error response for a request routed to a dead shard.
+
+    Mirrors the dispatcher's error shape (``status``/``error{type,message}``)
+    so clients handle shard loss with the same code path as any other
+    error response.
+    """
+    host, port = address
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "status": "error",
+        "id": request_id,
+        "error": {
+            "type": "shard-unavailable",
+            "message": (
+                f"shard {shard} at {host}:{port} is unavailable; "
+                "the request was not executed"
+            ),
+        },
+    }
+
+
+def _request_id_of(line: str) -> Optional[str]:
+    """Best-effort extraction of a raw line's correlation id."""
+    try:
+        payload = json.loads(line)
+    except json.JSONDecodeError:
+        return None
+    if isinstance(payload, dict) and isinstance(payload.get("id"), str):
+        return payload["id"]
+    return None
+
+
+class _ShardConnection:
+    """One shard's socket plus its FIFO of unanswered requests."""
+
+    __slots__ = ("index", "address", "reader", "writer", "pending", "alive", "read_task")
+
+    def __init__(self, index: int, address: Tuple[str, int]) -> None:
+        self.index = index
+        self.address = address
+        self.reader: Optional[asyncio.StreamReader] = None
+        self.writer: Optional[asyncio.StreamWriter] = None
+        #: ``(future, raw_line)`` in send order — the shard answers in
+        #: order, so the leftmost entry owns the next response line.
+        self.pending: "deque[Tuple[asyncio.Future, str]]" = deque()
+        self.alive = False
+        self.read_task: Optional[asyncio.Task] = None
+
+
+class ShardedClient:
+    """Client-side router over a set of shard servers.
+
+    Usage::
+
+        async with ShardedClient.from_base("127.0.0.1", 7000, 3) as client:
+            responses = await client.stream(request_lines)
+
+    ``stream`` returns one response line per request line, in submission
+    order.  Routing is per-request by canonical key; ordering is restored
+    by awaiting responses in submission order (each shard individually
+    preserves order, so a per-shard FIFO of futures suffices — no sequence
+    numbers on the wire).
+    """
+
+    def __init__(
+        self,
+        addresses: Sequence[Tuple[str, int]],
+        *,
+        max_inflight: int = 64,
+        connect_timeout: float = 5.0,
+    ) -> None:
+        if not addresses:
+            raise ServiceError("ShardedClient needs at least one shard address")
+        if max_inflight < 1:
+            raise ServiceError(f"max_inflight must be >= 1, got {max_inflight}")
+        self._shards = [
+            _ShardConnection(index, tuple(address))
+            for index, address in enumerate(addresses)
+        ]
+        self.max_inflight = max_inflight
+        self.connect_timeout = connect_timeout
+
+    @classmethod
+    def from_base(
+        cls, host: str, port: int, n_shards: int, **kwargs: Any
+    ) -> "ShardedClient":
+        """Build a client for the consecutive-port shard set at ``host:port``."""
+        return cls(shard_addresses(host, port, n_shards), **kwargs)
+
+    @property
+    def n_shards(self) -> int:
+        """Number of shards this client routes over."""
+        return len(self._shards)
+
+    @property
+    def live_shards(self) -> List[int]:
+        """Indices of shards whose connections are currently healthy."""
+        return [shard.index for shard in self._shards if shard.alive]
+
+    # -- lifecycle ----------------------------------------------------------
+    async def connect(self) -> None:
+        """Open one connection per shard and start its response reader."""
+        for shard in self._shards:
+            host, port = shard.address
+            shard.reader, shard.writer = await asyncio.wait_for(
+                asyncio.open_connection(host, port), timeout=self.connect_timeout
+            )
+            shard.alive = True
+            shard.read_task = asyncio.create_task(self._read_loop(shard))
+
+    async def close(self) -> None:
+        """Close every shard connection and stop the readers (idempotent)."""
+        for shard in self._shards:
+            if shard.writer is not None:
+                shard.writer.close()
+                try:
+                    await shard.writer.wait_closed()
+                except Exception:  # noqa: BLE001 - already-dead sockets
+                    pass
+                shard.writer = None
+        for shard in self._shards:
+            if shard.read_task is not None:
+                shard.read_task.cancel()
+                await asyncio.gather(shard.read_task, return_exceptions=True)
+                shard.read_task = None
+            self._fail_pending(shard)
+            shard.alive = False
+
+    async def __aenter__(self) -> "ShardedClient":
+        """Async-context entry: connect to every shard."""
+        await self.connect()
+        return self
+
+    async def __aexit__(self, *exc_info: Any) -> None:
+        """Async-context exit: close every shard connection."""
+        await self.close()
+
+    # -- request routing ----------------------------------------------------
+    async def submit(self, line: str) -> "asyncio.Future[str]":
+        """Route one request line; the future resolves to its response line.
+
+        A line routed to a dead shard resolves immediately with the typed
+        ``shard-unavailable`` response — submission never raises for shard
+        loss, so callers keep their one-response-per-request accounting.
+        """
+        shard = self._shards[shard_for_line(line, len(self._shards))]
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[str]" = loop.create_future()
+        if not shard.alive or shard.writer is None:
+            future.set_result(
+                response_line(
+                    shard_unavailable_response(
+                        shard.index, shard.address, _request_id_of(line)
+                    )
+                )
+            )
+            return future
+        shard.pending.append((future, line))
+        try:
+            shard.writer.write(line.encode("utf-8") + b"\n")
+            await shard.writer.drain()
+        except (ConnectionError, RuntimeError):
+            self._mark_dead(shard)
+        return future
+
+    async def stream(self, lines: Iterable[str]) -> List[str]:
+        """Send a whole request stream; responses in submission order.
+
+        Keeps at most ``max_inflight`` requests outstanding (per client):
+        the natural client-side backpressure partner to the server's
+        bounded queues.
+        """
+        responses: List[str] = []
+        window: "deque[asyncio.Future[str]]" = deque()
+        for line in lines:
+            while len(window) >= self.max_inflight:
+                responses.append(await window.popleft())
+            window.append(await self.submit(line))
+        while window:
+            responses.append(await window.popleft())
+        return responses
+
+    async def stats(self, request_id: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Query every *live* shard's stats request type; one payload each.
+
+        Dead shards contribute their ``shard-unavailable`` response instead,
+        so the result always has one entry per shard, index-aligned.
+        """
+        line = response_line(stats_request(request_id))
+        futures = []
+        for shard in self._shards:
+            loop = asyncio.get_running_loop()
+            future: "asyncio.Future[str]" = loop.create_future()
+            if not shard.alive or shard.writer is None:
+                future.set_result(
+                    response_line(
+                        shard_unavailable_response(shard.index, shard.address, request_id)
+                    )
+                )
+            else:
+                shard.pending.append((future, line))
+                try:
+                    shard.writer.write(line.encode("utf-8") + b"\n")
+                    await shard.writer.drain()
+                except (ConnectionError, RuntimeError):
+                    self._mark_dead(shard)
+            futures.append(future)
+        return [json.loads(await future) for future in futures]
+
+    # -- internals ----------------------------------------------------------
+    async def _read_loop(self, shard: _ShardConnection) -> None:
+        """Match one shard's response lines to its pending futures, in order."""
+        assert shard.reader is not None
+        try:
+            while True:
+                raw = await shard.reader.readline()
+                if not raw:
+                    break
+                if not shard.pending:
+                    continue  # protocol violation: response with no request
+                future, _line = shard.pending.popleft()
+                if not future.done():
+                    future.set_result(raw.decode("utf-8").rstrip("\n"))
+        except (ConnectionError, asyncio.IncompleteReadError, ValueError):
+            pass
+        except asyncio.CancelledError:
+            raise
+        finally:
+            self._mark_dead(shard)
+
+    def _mark_dead(self, shard: _ShardConnection) -> None:
+        """Fail the shard over: resolve its pending futures, reject new work."""
+        shard.alive = False
+        self._fail_pending(shard)
+
+    def _fail_pending(self, shard: _ShardConnection) -> None:
+        """Resolve every pending future with the typed unavailable response."""
+        while shard.pending:
+            future, line = shard.pending.popleft()
+            if not future.done():
+                future.set_result(
+                    response_line(
+                        shard_unavailable_response(
+                            shard.index, shard.address, _request_id_of(line)
+                        )
+                    )
+                )

@@ -1,0 +1,238 @@
+"""Tests for the persistent asyncio server (:mod:`repro.service.async_server`).
+
+The load-bearing assertion is the **determinism contract**: whatever the
+shard count, worker count or number of concurrent connections, every
+client's response stream is byte-identical to what the serial
+:func:`repro.service.server.serve_lines` loop writes for the same request
+lines.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import io
+import json
+
+import pytest
+
+from repro.service.async_server import AsyncScheduleServer, parse_address
+from repro.service.cache import LRUResultCache
+from repro.service.dispatcher import ScheduleService
+from repro.service.schema import stats_request
+from repro.service.server import response_line, serve_lines
+from repro.service.sharding import ShardedClient
+
+
+def request_line(seed=0, tasks=8, **extra):
+    """One JSONL-encoded request (small enough for high-volume tests)."""
+    payload = {
+        "platform": {"comm": [0.2, 0.5], "comp": [1.0, 2.0]},
+        "tasks": tasks,
+        "scheduler": "LS",
+        "seed": seed,
+    }
+    payload.update(extra)
+    return json.dumps(payload)
+
+
+def mixed_stream(n=24):
+    """Duplicates + distinct configs + one malformed line, id-stamped."""
+    lines = [request_line(seed=index % 5, id=f"r{index}") for index in range(n)]
+    lines.insert(n // 2, "{not json")
+    return lines
+
+
+def make_service():
+    """One dispatcher configured the way the determinism tests share it."""
+    return ScheduleService(batch_size=4, cache=LRUResultCache(max_entries=64))
+
+
+def serial_baseline(lines):
+    """The stdin/stdout loop's byte output for ``lines`` — the reference."""
+    out = io.StringIO()
+    with make_service() as service:
+        serve_lines(iter(lines), service, out)
+    return out.getvalue()
+
+
+def serve_concurrently(lines, n_clients, n_shards):
+    """Boot ``n_shards`` in-process servers, stream from ``n_clients``.
+
+    Every client streams the *same* request file through a
+    :class:`ShardedClient`; returns one joined response-stream string per
+    client, directly comparable to :func:`serial_baseline`.
+    """
+
+    async def one_client(addresses):
+        async with ShardedClient(addresses) as client:
+            return await client.stream(lines)
+
+    async def go():
+        servers = []
+        for index in range(n_shards):
+            server = AsyncScheduleServer(
+                make_service(), shard_index=index, shard_count=n_shards
+            )
+            await server.start()
+            servers.append(server)
+        addresses = [server.address for server in servers]
+        try:
+            return await asyncio.gather(
+                *(one_client(addresses) for _ in range(n_clients))
+            )
+        finally:
+            for server in servers:
+                await server.close()
+
+    streams = asyncio.run(go())
+    return ["".join(line + "\n" for line in stream) for stream in streams]
+
+
+class TestParseAddress:
+    def test_host_port(self):
+        assert parse_address("127.0.0.1:7000") == ("127.0.0.1", 7000)
+
+    @pytest.mark.parametrize(
+        "text", ["localhost", ":7000", "host:notaport", "host:70000", "host:-1"]
+    )
+    def test_rejects_malformed_addresses(self, text):
+        with pytest.raises(ValueError):
+            parse_address(text)
+
+
+class TestConcurrentDeterminism:
+    """Satellite 1: M concurrent clients, shards 1 vs 3, byte-identity."""
+
+    def test_concurrent_clients_match_serial_single_shard(self):
+        lines = mixed_stream()
+        baseline = serial_baseline(lines)
+        for stream in serve_concurrently(lines, n_clients=4, n_shards=1):
+            assert stream == baseline
+
+    def test_concurrent_clients_match_serial_three_shards(self):
+        lines = mixed_stream()
+        baseline = serial_baseline(lines)
+        for stream in serve_concurrently(lines, n_clients=4, n_shards=3):
+            assert stream == baseline
+
+    def test_sharded_and_unsharded_streams_are_identical(self):
+        lines = mixed_stream()
+        one = serve_concurrently(lines, n_clients=2, n_shards=1)
+        three = serve_concurrently(lines, n_clients=2, n_shards=3)
+        assert set(one) == set(three) and len(set(one)) == 1
+
+
+class TestSingleConnection:
+    """Raw-socket behaviour: ordering, stats-in-position, counters."""
+
+    @staticmethod
+    def run_raw(server_kwargs, lines):
+        """One raw TCP client: send all lines, read one response each."""
+
+        async def go():
+            service = make_service()
+            async with AsyncScheduleServer(service, **server_kwargs) as server:
+                host, port = server.address
+                reader, writer = await asyncio.open_connection(host, port)
+                for line in lines:
+                    writer.write(line.encode("utf-8") + b"\n")
+                await writer.drain()
+                responses = [
+                    (await reader.readline()).decode("utf-8").rstrip("\n")
+                    for _ in lines
+                ]
+                writer.close()
+                await writer.wait_closed()
+                return server, responses
+
+        return asyncio.run(go())
+
+    def test_responses_in_submission_order(self):
+        lines = [request_line(seed=s, id=f"r{s}") for s in range(6)]
+        server, responses = self.run_raw({}, lines)
+        assert [json.loads(r)["id"] for r in responses] == [f"r{s}" for s in range(6)]
+        assert server.stats.requests_received == 6
+        assert server.stats.responses_sent == 6
+        assert server.stats.connections_total == 1
+        assert server.stats.connections_active == 0
+
+    def test_stats_request_is_answered_in_stream_position(self):
+        lines = [
+            request_line(seed=1, id="before"),
+            json.dumps(stats_request("health-1")),
+            request_line(seed=2, id="after"),
+        ]
+        server, responses = self.run_raw(
+            {"shard_index": 1, "shard_count": 3}, lines
+        )
+        before, stats, after = (json.loads(r) for r in responses)
+        assert before["id"] == "before" and after["id"] == "after"
+        assert stats["type"] == "stats" and stats["id"] == "health-1"
+        assert stats["status"] == "ok"
+        payload = stats["stats"]
+        assert payload["shard"] == {"index": 1, "count": 3}
+        assert payload["uptime_s"] > 0
+        assert payload["shed"] == 0
+        assert payload["server"]["requests_received"] >= 1
+        assert payload["service"]["ok"] >= 1
+        assert payload["cache"]["size"] >= 1
+
+    def test_stats_response_is_canonical_jsonl(self):
+        _, responses = self.run_raw({}, [json.dumps(stats_request())])
+        (line,) = responses
+        assert line == response_line(json.loads(line))
+
+    def test_oversized_line_closes_the_connection_without_crashing(self):
+        async def go():
+            async with AsyncScheduleServer(make_service()) as server:
+                host, port = server.address
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(b"x" * (2 << 20) + b"\n")
+                await writer.drain()
+                assert await reader.read() == b""  # server closed its side
+                writer.close()
+                await writer.wait_closed()
+                # and keeps serving new connections afterwards
+                reader, writer = await asyncio.open_connection(host, port)
+                writer.write(request_line(id="ok").encode("utf-8") + b"\n")
+                await writer.drain()
+                response = json.loads(await reader.readline())
+                writer.close()
+                await writer.wait_closed()
+                return response
+
+        assert asyncio.run(go())["id"] == "ok"
+
+
+class TestGracefulDrain:
+    def test_close_flushes_already_read_requests(self):
+        # Requests the server has read before close() must still resolve
+        # and flush — the drain contract of SIGTERM.
+        async def go():
+            service = make_service()
+            server = AsyncScheduleServer(service)
+            await server.start()
+            host, port = server.address
+            reader, writer = await asyncio.open_connection(host, port)
+            lines = [request_line(seed=s, id=f"r{s}") for s in range(4)]
+            for line in lines:
+                writer.write(line.encode("utf-8") + b"\n")
+            await writer.drain()
+            await asyncio.sleep(0.2)  # let the server ingest the lines
+            await server.close()
+            received = (await reader.read()).decode("utf-8").splitlines()
+            writer.close()
+            await writer.wait_closed()
+            return received
+
+        responses = asyncio.run(go())
+        assert [json.loads(r)["id"] for r in responses] == [f"r{s}" for s in range(4)]
+
+    def test_close_is_idempotent(self):
+        async def go():
+            server = AsyncScheduleServer(make_service())
+            await server.start()
+            await server.close()
+            await server.close()
+
+        asyncio.run(go())

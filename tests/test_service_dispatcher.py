@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import threading
+
 import pytest
 
 from repro.exceptions import ServiceError
@@ -335,6 +337,112 @@ class TestAdmissionControl:
         responses = service.drain()
         assert [r["status"] for r in responses] == ["error", "error", "ok", "ok"]
         assert service.stats.rejected == 0
+
+
+class TestThreadSafety:
+    """Regression tests for the drain race the asyncio server exposed.
+
+    The old ``pump`` extracted its batch with two unlocked queue slices
+    (``self._entries[:bs]`` then ``self._entries[bs:]``); a ``submit``
+    landing between the two evaluations was silently dropped — no
+    response, ever.  Both the lost-update and the attribution contracts
+    are pinned here.
+    """
+
+    def test_concurrent_submit_during_drain_loses_no_request(self):
+        # Submitter threads race a continuously-pumping drainer; under the
+        # old slicing race this reliably lost entries.  Every submitted id
+        # must come back exactly once.
+        n_threads, per_thread = 4, 40
+        service = ScheduleService(batch_size=4, max_queue=100_000)
+        barrier = threading.Barrier(n_threads + 1)
+
+        def submitter(thread_index):
+            barrier.wait()
+            for index in range(per_thread):
+                seed = (thread_index * per_thread + index) % 6
+                service.submit(
+                    make_request(seed=seed, id=f"t{thread_index}-{index}")
+                )
+
+        threads = [
+            threading.Thread(target=submitter, args=(t,)) for t in range(n_threads)
+        ]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        responses = []
+        while any(thread.is_alive() for thread in threads) or service.buffered:
+            responses.extend(service.pump())
+        for thread in threads:
+            thread.join()
+        responses.extend(service.drain())
+
+        expected = {
+            f"t{t}-{i}" for t in range(n_threads) for i in range(per_thread)
+        }
+        got = [r["id"] for r in responses]
+        assert len(got) == n_threads * per_thread  # nothing lost, nothing doubled
+        assert set(got) == expected
+        assert service.stats.responded == n_threads * per_thread
+
+    def test_serve_chunk_attributes_responses_to_the_submitting_thread(self):
+        # Two threads serve interleaved chunks off one shared service (the
+        # asyncio server's executor-thread pattern): each must get exactly
+        # its own ids, in its own submission order.
+        service = ScheduleService(batch_size=4, cache=LRUResultCache(max_entries=64))
+        results = {}
+        barrier = threading.Barrier(2)
+
+        def worker(name):
+            barrier.wait()
+            mine = []
+            for chunk_index in range(8):
+                chunk = [
+                    make_request(seed=chunk_index % 3, id=f"{name}-{chunk_index}-{i}")
+                    for i in range(3)
+                ]
+                mine.extend(service.serve_chunk(chunk))
+            results[name] = mine
+
+        threads = [threading.Thread(target=worker, args=(n,)) for n in ("a", "b")]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        for name in ("a", "b"):
+            ids = [r["id"] for r in results[name]]
+            assert ids == [
+                f"{name}-{chunk}-{i}" for chunk in range(8) for i in range(3)
+            ]
+            assert all(r["status"] == "ok" for r in results[name])
+
+    def test_snapshot_is_consistent_under_concurrent_pumps(self):
+        service = ScheduleService(batch_size=2, cache=LRUResultCache(max_entries=16))
+        stop = threading.Event()
+        errors = []
+
+        def reader():
+            while not stop.is_set():
+                snapshot = service.snapshot()
+                stats = snapshot["service"]
+                # Invariant: every response is accounted for by exactly one
+                # outcome counter — a torn snapshot would break the sum.
+                if stats["responded"] != (
+                    stats["ok"] + stats["invalid"] + stats["rejected"] + stats["failed"]
+                ):
+                    errors.append(snapshot)
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        try:
+            for index in range(60):
+                service.serve_chunk([make_request(seed=index % 5, id=f"r{index}")])
+        finally:
+            stop.set()
+            thread.join()
+        assert not errors
 
 
 class TestDeterminism:

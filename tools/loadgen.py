@@ -2,8 +2,11 @@
 """Load generator: replay a nonstationary request stream against the service.
 
 Emits ``--requests`` JSONL schedule requests on stdout, ready to pipe into
-``repro serve``.  Two ingredients make the stream a realistic serving
-workload rather than a uniform batch:
+``repro serve`` — or, with ``--connect HOST:PORT``, drives the stream over
+**sustained concurrent TCP connections** against a persistent (optionally
+sharded) server and records steady-state RPS and p50/p99 latency.  Two
+ingredients make the stream a realistic serving workload rather than a
+uniform batch:
 
 * **arrival process** — request timestamps are drawn from the
   inhomogeneous Poisson process of
@@ -26,21 +29,37 @@ Run with::
 
     PYTHONPATH=src python tools/loadgen.py --requests 500 --workers 4 \\
         | PYTHONPATH=src python -m repro serve --workers 4
+
+or against a persistent 3-shard server (each of the ``--connections``
+clients streams the *same* generated request file, so every client's
+response stream must be byte-identical to the serial baseline; client 0's
+stream goes to stdout for exactly that ``cmp``)::
+
+    PYTHONPATH=src python -m repro serve --listen 127.0.0.1:7000 --shards 3 &
+    PYTHONPATH=src python tools/loadgen.py --requests 500 \\
+        --connect 127.0.0.1:7000 --shards 3 --connections 8 \\
+        --stats-json loadgen_stats.json > client0.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
+import json
 import math
 import sys
+import time
+from collections import Counter, deque
 from pathlib import Path
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional, Tuple
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 import numpy as np  # noqa: E402  (path bootstrap above)
 
 from repro._hashing import canonical_json  # noqa: E402
+from repro.service.async_server import parse_address  # noqa: E402
+from repro.service.sharding import ShardedClient  # noqa: E402
 from repro.workloads.release import inhomogeneous_poisson_releases  # noqa: E402
 
 #: Schedulers the generator samples from — the paper's heuristics that are
@@ -75,8 +94,8 @@ def build_pool(
     return pool
 
 
-def generate(args: argparse.Namespace, out) -> int:
-    """Write the request stream to ``out``; returns the number of lines."""
+def generate_lines(args: argparse.Namespace) -> List[str]:
+    """The deterministic request stream described by the flags, as lines."""
     rng = np.random.default_rng(args.seed)
     pool = build_pool(rng, args.unique, args.workers, args.tasks)
 
@@ -91,13 +110,145 @@ def generate(args: argparse.Namespace, out) -> int:
         args.requests, intensity, max_rate=1.8 * base, rng=rng
     ).releases
 
+    lines = []
     for index, arrival in enumerate(arrivals):
         config = pool[int(rng.integers(0, len(pool)))]
         request = dict(config)
         request["id"] = f"req-{index:06d}"
         request["arrival"] = round(float(arrival), 6)
-        out.write(canonical_json(request) + "\n")
+        lines.append(canonical_json(request))
+    return lines
+
+
+def generate(args: argparse.Namespace, out) -> int:
+    """Write the request stream to ``out``; returns the number of lines."""
+    for line in generate_lines(args):
+        out.write(line + "\n")
     return args.requests
+
+
+async def _drive_one_client(
+    addresses: List[Tuple[str, int]],
+    lines: List[str],
+    max_inflight: int,
+) -> Tuple[List[str], List[float]]:
+    """Stream every line over one connection set; returns (responses, latencies).
+
+    Latency is measured per request, submit-to-response, with at most
+    ``max_inflight`` requests outstanding — a sustained closed-loop client,
+    not a single giant burst.
+    """
+    responses: List[str] = []
+    latencies: List[float] = []
+    window: "deque[Tuple[asyncio.Future, float]]" = deque()
+
+    async def settle() -> None:
+        future, t0 = window.popleft()
+        responses.append(await future)
+        latencies.append(time.perf_counter() - t0)
+
+    async with ShardedClient(addresses, max_inflight=max_inflight) as client:
+        for line in lines:
+            while len(window) >= max_inflight:
+                await settle()
+            t0 = time.perf_counter()
+            window.append((await client.submit(line), t0))
+        while window:
+            await settle()
+    return responses, latencies
+
+
+async def _drive(
+    args: argparse.Namespace, lines: List[str]
+) -> Tuple[List[List[str]], List[float], float]:
+    """Run ``--connections`` concurrent clients; returns streams, latencies, wall."""
+    host, port = parse_address(args.connect)
+    addresses = [(host, port + index) for index in range(args.shards)]
+    started = time.perf_counter()
+    results = await asyncio.gather(
+        *(
+            _drive_one_client(addresses, lines, args.max_inflight)
+            for _ in range(args.connections)
+        )
+    )
+    elapsed = time.perf_counter() - started
+    streams = [responses for responses, _ in results]
+    latencies = [latency for _, client_latencies in results for latency in client_latencies]
+    return streams, latencies, elapsed
+
+
+def _percentile(sorted_values: List[float], q: float) -> float:
+    """The ``q``-quantile of an already-sorted sample (nearest-rank)."""
+    if not sorted_values:
+        return 0.0
+    rank = min(len(sorted_values) - 1, max(0, math.ceil(q * len(sorted_values)) - 1))
+    return sorted_values[rank]
+
+
+def run_connected(args: argparse.Namespace, out, err) -> int:
+    """Drive the generated stream against a persistent server; returns exit code.
+
+    Writes client 0's response stream to ``out`` (byte-comparable against
+    the serial ``repro serve`` baseline), a human-readable summary to
+    ``err``, and — with ``--stats-json`` — a machine-readable record of
+    steady-state RPS, p50/p99 latency, drops and response statuses.
+    """
+    lines = generate_lines(args)
+    streams, latencies, elapsed = asyncio.run(_drive(args, lines))
+
+    expected = len(lines) * args.connections
+    received = sum(len(stream) for stream in streams)
+    statuses: Counter = Counter()
+    for stream in streams:
+        for response_text in stream:
+            try:
+                statuses[json.loads(response_text).get("status", "?")] += 1
+            except json.JSONDecodeError:
+                statuses["unparseable"] += 1
+    drops = expected - received
+    divergent = [
+        index for index, stream in enumerate(streams[1:], start=1) if stream != streams[0]
+    ]
+
+    latencies.sort()
+    stats = {
+        "requests": len(lines),
+        "connections": args.connections,
+        "shards": args.shards,
+        "expected_responses": expected,
+        "responses": received,
+        "drops": drops,
+        "divergent_clients": divergent,
+        "statuses": dict(statuses),
+        "elapsed_s": round(elapsed, 6),
+        "rps": round(received / elapsed, 3) if elapsed > 0 else 0.0,
+        "p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
+        "p99_ms": round(_percentile(latencies, 0.99) * 1e3, 3),
+    }
+
+    for response_text in streams[0]:
+        out.write(response_text + "\n")
+    print(
+        f"loadgen: {received}/{expected} response(s) over "
+        f"{args.connections} connection(s) x {args.shards} shard(s) in "
+        f"{elapsed:.3f}s -> {stats['rps']:.1f} rps, "
+        f"p50 {stats['p50_ms']:.2f} ms, p99 {stats['p99_ms']:.2f} ms, "
+        f"{drops} drop(s)",
+        file=err,
+    )
+    if args.stats_json:
+        Path(args.stats_json).write_text(
+            json.dumps(stats, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+    if drops or divergent:
+        if divergent:
+            print(
+                f"loadgen: ERROR - client stream(s) {divergent} diverge from "
+                "client 0 (per-client byte-identity violated)",
+                file=err,
+            )
+        return 1
+    return 0
 
 
 def main(argv=None) -> int:
@@ -134,11 +285,52 @@ def main(argv=None) -> int:
         "--period", type=float, default=20.0, help="length of one diurnal cycle"
     )
     parser.add_argument("--seed", type=int, default=2006, help="stream seed")
+    parser.add_argument(
+        "--connect",
+        metavar="HOST:PORT",
+        default=None,
+        help=(
+            "drive the stream against a persistent server at HOST:PORT "
+            "instead of emitting it on stdout"
+        ),
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="shard count of the target server (consecutive ports from PORT)",
+    )
+    parser.add_argument(
+        "--connections",
+        type=int,
+        default=1,
+        help="concurrent client connections, each streaming the full file",
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=32,
+        help="per-client cap on outstanding requests (closed-loop window)",
+    )
+    parser.add_argument(
+        "--stats-json",
+        metavar="FILE",
+        default=None,
+        help="with --connect: write RPS/latency/drop statistics to FILE",
+    )
     args = parser.parse_args(argv)
     if args.requests < 1 or args.unique < 1 or args.workers < 1 or args.tasks < 5:
         parser.error("--requests/--unique/--workers must be >= 1, --tasks >= 5")
     if args.rate <= 0 or args.period <= 0:
         parser.error("--rate and --period must be > 0")
+    if args.shards < 1 or args.connections < 1 or args.max_inflight < 1:
+        parser.error("--shards/--connections/--max-inflight must be >= 1")
+    if args.connect is not None:
+        try:
+            return run_connected(args, sys.stdout, sys.stderr)
+        except (OSError, asyncio.TimeoutError) as exc:
+            print(f"loadgen: connection failed: {exc}", file=sys.stderr)
+            return 2
     generate(args, sys.stdout)
     return 0
 

@@ -26,7 +26,10 @@ The suite covers the layers a serving regression could hide in:
 * ``service_unique_stream`` — the dispatcher on an all-miss stream
   (every request simulates);
 * ``service_cached_stream`` — the same stream against a warm result cache
-  (the steady-state serving hot path).
+  (the steady-state serving hot path);
+* ``service_persistent_rps`` — the persistent asyncio TCP server under
+  sustained concurrent connections; records steady-state RPS plus p50/p99
+  request latency alongside the usual wall-clock stats.
 
 Run with::
 
@@ -36,8 +39,10 @@ Run with::
 from __future__ import annotations
 
 import argparse
+import asyncio
 import io
 import json
+import math
 import subprocess
 import sys
 import time
@@ -50,10 +55,12 @@ from repro.core.engine import simulate  # noqa: E402  (path bootstrap above)
 from repro.core.kernel import KernelJob, create_kernel  # noqa: E402
 from repro.core.platform import Platform  # noqa: E402
 from repro.schedulers.base import create_scheduler  # noqa: E402
+from repro.service.async_server import AsyncScheduleServer  # noqa: E402
 from repro.service.cache import LRUResultCache  # noqa: E402
 from repro.service.dispatcher import ScheduleService  # noqa: E402
 from repro.service.schema import canonicalize_request  # noqa: E402
 from repro.service.server import serve_lines  # noqa: E402
+from repro.service.sharding import ShardedClient  # noqa: E402
 from repro.service.streams import synthetic_request_lines  # noqa: E402
 from repro.workloads.release import all_at_zero  # noqa: E402
 
@@ -197,6 +204,74 @@ def bench_service_cached_stream(runs: int, n_requests: int) -> Dict[str, Any]:
     }
 
 
+def bench_service_persistent_rps(runs: int, n_requests: int) -> Dict[str, Any]:
+    """Persistent TCP server under sustained concurrent connections.
+
+    Boots one in-process :class:`AsyncScheduleServer` on an ephemeral port,
+    then drives it with 4 concurrent :class:`ShardedClient` connections,
+    each streaming the full synthetic request file.  Besides the standard
+    wall-clock stats this records the steady-state ``rps`` (responses per
+    second over the whole run) and ``p50_ms``/``p99_ms`` per-request
+    latency (submit-to-response, nearest-rank over every request of every
+    run) — the serving numbers the CI smoke diffs informationally.
+    """
+    lines = synthetic_request_lines(n_requests)
+    connections = 4
+    latencies: List[float] = []
+
+    def percentile(sorted_values: List[float], q: float) -> float:
+        rank = min(
+            len(sorted_values) - 1, max(0, math.ceil(q * len(sorted_values)) - 1)
+        )
+        return sorted_values[rank]
+
+    async def one_client(address) -> None:
+        async with ShardedClient([address], max_inflight=32) as client:
+            window: List[Any] = []
+            for line in lines:
+                while len(window) >= 32:
+                    future, t0 = window.pop(0)
+                    await future
+                    latencies.append(time.perf_counter() - t0)
+                t0 = time.perf_counter()
+                window.append((await client.submit(line), t0))
+            for future, t0 in window:
+                await future
+                latencies.append(time.perf_counter() - t0)
+
+    async def drive() -> None:
+        service = ScheduleService(
+            workers=1, batch_size=16, max_queue=4096, cache=None
+        )
+        async with AsyncScheduleServer(service, port=0) as server:
+            await asyncio.gather(
+                *(one_client(server.address) for _ in range(connections))
+            )
+
+    def run() -> None:
+        asyncio.run(drive())
+
+    timing = _time(run, runs)
+    latencies.sort()
+    # One warm-up + `runs` timed passes contributed latencies; RPS uses the
+    # noise-robust min_s, matching how timings diff across commits.
+    responses_per_run = n_requests * connections
+    return {
+        **timing,
+        "rps": responses_per_run / timing["min_s"],
+        "p50_ms": percentile(latencies, 0.50) * 1e3,
+        "p99_ms": percentile(latencies, 0.99) * 1e3,
+        "runs": runs,
+        "params": {
+            "n_requests": n_requests,
+            "connections": connections,
+            "shards": 1,
+            "max_inflight": 32,
+            "cache": "none",
+        },
+    }
+
+
 def run_suite(runs: int, n_requests: int) -> Dict[str, Dict[str, Any]]:
     """Execute every benchmark; returns the ``BENCH_service.json`` payload."""
     return {
@@ -206,6 +281,7 @@ def run_suite(runs: int, n_requests: int) -> Dict[str, Dict[str, Any]]:
         "request_canonicalize": bench_request_canonicalize(runs),
         "service_unique_stream": bench_service_unique_stream(runs, n_requests),
         "service_cached_stream": bench_service_cached_stream(runs, n_requests),
+        "service_persistent_rps": bench_service_persistent_rps(runs, n_requests),
     }
 
 
