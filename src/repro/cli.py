@@ -327,6 +327,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulation kernel executing a batch's unique requests (responses are identical)",
     )
     serve.add_argument(
+        "--restart-limit",
+        type=_nonnegative_int,
+        default=5,
+        metavar="N",
+        help=(
+            "with --shards > 1: consecutive crashes after which a shard is "
+            "abandoned instead of restarted (0 disables auto-restart)"
+        ),
+    )
+    serve.add_argument(
+        "--restart-base-delay",
+        type=_positive_float,
+        default=0.5,
+        metavar="SECONDS",
+        help=(
+            "with --shards > 1: delay before a crashed shard's first "
+            "restart (doubles per consecutive crash, capped at 8s, jittered)"
+        ),
+    )
+    serve.add_argument(
         "--quiet",
         action="store_true",
         help="suppress the statistics summary on stderr",
@@ -417,6 +437,16 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "with --connect: query every shard's stats/health request type "
             "instead of sending a schedule request (one JSON line per shard)"
+        ),
+    )
+    request.add_argument(
+        "--timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "with --connect: per-request deadline; a stalled shard resolves "
+            "to a typed shard-timeout response instead of hanging"
         ),
     )
 
@@ -626,13 +656,18 @@ def _serve_flag_argv(args: argparse.Namespace) -> List[str]:
 def _run_shard_supervisor(args: argparse.Namespace, host: str, port: int) -> int:
     """Boot ``--shards`` server child processes and supervise them.
 
-    Shard ``i`` listens on ``port + i``.  SIGTERM/SIGINT is forwarded to
-    every child (each drains gracefully); a child dying does NOT take the
-    others down — healthy shards keep serving, which is what the client's
-    ``shard-unavailable`` failover relies on.
+    Shard ``i`` listens on ``port + i``.  Delegates the monitoring loop to
+    :class:`repro.service.supervisor.ShardSupervisor`: a crashed shard is
+    restarted on its original port with capped exponential backoff (give
+    up after ``--restart-limit`` consecutive crashes), SIGTERM/SIGINT is
+    forwarded to every child (each drains gracefully), and a child dying
+    does NOT take the others down — healthy shards keep serving while the
+    client's failover/reconnect machinery rides out the restart.
     """
-    import signal
+    import os
     import subprocess
+
+    from .service.supervisor import RestartPolicy, ShardSupervisor
 
     if port == 0:
         print(
@@ -641,32 +676,38 @@ def _run_shard_supervisor(args: argparse.Namespace, host: str, port: int) -> int
             file=sys.stderr,
         )
         return 2
-    import os
 
-    processes = []
-    for index in range(args.shards):
+    def spawn(index: int, restarts: int) -> "subprocess.Popen":
         command = [
             sys.executable, "-m", "repro", "serve",
             "--listen", f"{host}:{port + index}", "--shards", "1",
         ] + _serve_flag_argv(args)
-        # Shard identity rides on the environment so the child's stats
-        # responses report its slot without extra CLI surface.
+        # Shard identity and restart count ride on the environment so the
+        # child's stats responses report them without extra CLI surface.
         env = dict(os.environ)
         env["REPRO_SHARD_INDEX"] = str(index)
         env["REPRO_SHARD_COUNT"] = str(args.shards)
-        processes.append(subprocess.Popen(command, env=env))
-    for index in range(args.shards):
-        print(f"shard {index + 1}/{args.shards}: {host}:{port + index}", file=sys.stderr)
+        env["REPRO_SHARD_RESTARTS"] = str(restarts)
+        process = subprocess.Popen(command, env=env)
+        print(
+            f"shard {index + 1}/{args.shards}: {host}:{port + index} "
+            f"pid={process.pid} restarts={restarts}",
+            file=sys.stderr,
+            flush=True,
+        )
+        return process
 
-    def _forward(signum, frame):  # noqa: ANN001 - signal handler signature
-        for process in processes:
-            if process.poll() is None:
-                process.send_signal(signal.SIGTERM)
-
-    signal.signal(signal.SIGTERM, _forward)
-    signal.signal(signal.SIGINT, _forward)
-    exit_codes = [process.wait() for process in processes]
-    return 0 if all(code == 0 for code in exit_codes) else 1
+    supervisor = ShardSupervisor(
+        spawn,
+        args.shards,
+        policy=RestartPolicy(
+            base_delay=args.restart_base_delay,
+            max_delay=max(8.0, args.restart_base_delay),
+            max_restarts=args.restart_limit,
+        ),
+        err=sys.stderr,
+    )
+    return supervisor.run()
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -699,6 +740,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
     shard_index = int(os.environ.get("REPRO_SHARD_INDEX", "0"))
     shard_count = int(os.environ.get("REPRO_SHARD_COUNT", "1"))
+    shard_restarts = int(os.environ.get("REPRO_SHARD_RESTARTS", "0"))
     with _build_service(args) as service:
         main_serve_forever(
             service,
@@ -706,6 +748,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             port,
             shard_index=shard_index,
             shard_count=shard_count,
+            shard_restarts=shard_restarts,
             err=sys.stderr,
         )
         if not args.quiet:
@@ -750,7 +793,9 @@ def _cmd_request_connected(args: argparse.Namespace) -> int:
         return 2
 
     async def go() -> List[str]:
-        async with ShardedClient.from_base(host, port, args.shards) as client:
+        async with ShardedClient.from_base(
+            host, port, args.shards, request_timeout=args.timeout
+        ) as client:
             if args.stats:
                 payloads = await client.stats(args.id)
                 return [canonical_json(payload) for payload in payloads]

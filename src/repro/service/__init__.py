@@ -25,7 +25,17 @@ ROADMAP's "serve heavy traffic" north star.  Five pieces compose:
 * :mod:`~repro.service.sharding` — **shard-by-canonical-key** routing
   (stable content-hash shard assignment) plus the client-side
   :class:`~repro.service.sharding.ShardedClient` that routes requests
-  over N shard servers and merges response streams in submission order.
+  over N shard servers and merges response streams in submission order,
+  with per-request timeouts, bounded retry, transparent reconnect and a
+  per-shard circuit breaker that degrades to local execution;
+* :mod:`~repro.service.supervisor` — the **self-healing shard
+  supervisor**: auto-restart of crashed shards on their original ports
+  with capped exponential backoff plus jitter, crash-loop give-up and
+  restart observability;
+* :mod:`~repro.service.faults` — **deterministic fault schedules**
+  (seeded crash/stall/drop events at request-count boundaries, correlated
+  bursts à la iterated-Poisson) that ``tools/chaos.py`` drives against
+  real server processes.
 
 See ``docs/SERVICE.md`` for the request schema and the determinism/caching
 contract.
@@ -47,18 +57,29 @@ from .schema import (
     is_stats_request,
     stats_request,
 )
+from .faults import FAULT_KINDS, FaultEvent, FaultSchedule
 from .server import response_line, serve_lines, serve_stream
 from .sharding import (
+    ClientCounters,
     ShardedClient,
     shard_addresses,
     shard_for_line,
     shard_for_payload,
     shard_index,
+    shard_timeout_response,
     shard_unavailable_response,
 )
+from .supervisor import RestartPolicy, ShardState, ShardSupervisor
 
 __all__ = [
     "AsyncScheduleServer",
+    "ClientCounters",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultSchedule",
+    "RestartPolicy",
+    "ShardState",
+    "ShardSupervisor",
     "LRUResultCache",
     "RELEASE_PROCESSES",
     "SCHEMA_VERSION",
@@ -83,6 +104,7 @@ __all__ = [
     "shard_for_line",
     "shard_for_payload",
     "shard_index",
+    "shard_timeout_response",
     "shard_unavailable_response",
     "stats_request",
 ]

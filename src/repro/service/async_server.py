@@ -142,6 +142,10 @@ class AsyncScheduleServer:
     shard_index, shard_count:
         This server's identity in a sharded topology, echoed in stats
         responses (``0``/``1`` when unsharded).
+    shard_restarts:
+        How many times the supervisor has restarted this shard slot
+        (``REPRO_SHARD_RESTARTS``); echoed in stats responses so recovery
+        is observable end-to-end.
     max_chunk:
         Upper bound on request lines resolved per dispatcher round trip;
         defaults to the service batch size.
@@ -171,6 +175,7 @@ class AsyncScheduleServer:
         *,
         shard_index: int = 0,
         shard_count: int = 1,
+        shard_restarts: int = 0,
         max_chunk: Optional[int] = None,
         write_queue_lines: int = 256,
         executor_threads: int = 4,
@@ -182,6 +187,7 @@ class AsyncScheduleServer:
         self.port = port
         self.shard_index = shard_index
         self.shard_count = shard_count
+        self.shard_restarts = shard_restarts
         self.max_chunk = max_chunk if max_chunk is not None else service.batch_size
         self.write_queue_lines = write_queue_lines
         self.drain_timeout = drain_timeout
@@ -256,7 +262,11 @@ class AsyncScheduleServer:
         snapshot = self.service.snapshot()
         return {
             "uptime_s": round(self.uptime, 6),
-            "shard": {"index": self.shard_index, "count": self.shard_count},
+            "shard": {
+                "index": self.shard_index,
+                "count": self.shard_count,
+                "restarts": self.shard_restarts,
+            },
             "server": self.stats.as_dict(),
             "shed": snapshot["service"]["rejected"],
             "pending": snapshot["pending"],
@@ -460,6 +470,7 @@ async def run_server(
     *,
     shard_index: int = 0,
     shard_count: int = 1,
+    shard_restarts: int = 0,
     err: Optional[TextIO] = None,
     install_signal_handlers: bool = True,
     ready_event: Optional[asyncio.Event] = None,
@@ -472,7 +483,12 @@ async def run_server(
     and returns the (closed) server so callers can read final statistics.
     """
     server = AsyncScheduleServer(
-        service, host, port, shard_index=shard_index, shard_count=shard_count
+        service,
+        host,
+        port,
+        shard_index=shard_index,
+        shard_count=shard_count,
+        shard_restarts=shard_restarts,
     )
     await server.start()
     if err is not None:
@@ -506,6 +522,7 @@ def main_serve_forever(
     *,
     shard_index: int = 0,
     shard_count: int = 1,
+    shard_restarts: int = 0,
     err: Optional[TextIO] = None,
 ) -> AsyncScheduleServer:
     """Synchronous wrapper for the CLI: run :func:`run_server` to completion."""
@@ -518,6 +535,7 @@ def main_serve_forever(
             port,
             shard_index=shard_index,
             shard_count=shard_count,
+            shard_restarts=shard_restarts,
             err=err,
         )
     )

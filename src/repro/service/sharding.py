@@ -1,4 +1,4 @@
-"""Shard-by-canonical-key routing and the client-side shard router.
+"""Shard-by-canonical-key routing and the resilient client-side router.
 
 Horizontal scaling for the scheduling service: N server processes each own
 a **slice of the cache keyspace**.  The slice assignment is pure and
@@ -16,13 +16,43 @@ client-side — no coordination service, no rebalancing protocol:
   cache).  Requests that fail validation route to shard 0 — every shard
   produces the identical ``request-invalid`` response, so the choice only
   needs to be deterministic;
-* :class:`ShardedClient` is the thin client-side router: it keeps one
+* :class:`ShardedClient` is the client-side router: it keeps one
   connection per shard, routes each submitted line, and hands back
   responses **in submission order** (per client), whatever order shards
-  answer in.  When a shard dies mid-stream the client resolves that
-  shard's in-flight and future requests with a typed ``shard-unavailable``
-  response — one response per request survives even a shard crash, and
-  healthy shards keep serving.
+  answer in.
+
+Self-healing (see ``docs/SERVICE.md`` § Failure modes and recovery): the
+client is the recovery half of the supervisor's auto-restart.  Every knob
+defaults to the PR-5 behaviour (fail over to typed ``shard-unavailable``
+responses) so existing callers are unchanged; chaos tooling and resilient
+deployments opt in:
+
+* **per-request timeout** (``request_timeout``) — a stalled (not dead)
+  shard no longer blocks the client forever: the head-of-line request
+  resolves to a typed ``shard-timeout`` response and the stalled
+  connection is severed (in-order response matching makes a timed-out
+  response unattributable, so the connection cannot be reused);
+* **bounded retry with exponential backoff** (``max_retries``) — requests
+  pending on a dying connection are resubmitted after a capped
+  exponential delay.  Resubmission is safe because requests are
+  canonicalized content-hash keys: a retry that races a completed
+  original coalesces onto the same cache entry and returns the identical
+  bytes;
+* **transparent reconnect** — a submission routed to a dead shard first
+  tries to re-open the connection, so a shard restarted by the
+  supervisor (same port, per the routing contract) is picked up without
+  any client restart;
+* **per-shard circuit breaker** (``breaker_threshold``) — after K
+  consecutive connection failures the breaker opens and submissions
+  **degrade gracefully**: the request is answered from the local
+  ``execute`` path (byte-identical to the server's response, by the
+  determinism contract) instead of erroring.  After
+  ``breaker_cooldown`` seconds the breaker half-opens and the next
+  submission probes the shard; a successful probe closes it.
+
+One response per request survives every failure mode — crash, stall,
+restart, crash-loop — which is the invariant ``tools/chaos.py`` and
+``tests/test_self_healing.py`` drive end-to-end.
 
 The topology convention is *consecutive ports*: a shard set is
 ``(host, port), (host, port+1), … (host, port+n_shards-1)`` — what
@@ -34,7 +64,9 @@ from __future__ import annotations
 
 import asyncio
 import json
+import time
 from collections import deque
+from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..exceptions import RequestValidationError, ServiceError
@@ -47,6 +79,8 @@ __all__ = [
     "shard_for_line",
     "shard_addresses",
     "shard_unavailable_response",
+    "shard_timeout_response",
+    "ClientCounters",
     "ShardedClient",
 ]
 
@@ -124,6 +158,34 @@ def shard_unavailable_response(
     }
 
 
+def shard_timeout_response(
+    shard: int,
+    address: Tuple[str, int],
+    timeout: float,
+    request_id: Optional[str] = None,
+) -> Dict[str, Any]:
+    """The typed error response for a request that outlived its timeout.
+
+    A timeout means the shard is *stalled*, not provably dead — the
+    request may still complete server-side, which is harmless because the
+    result lands in that shard's cache under the canonical key.  The
+    client-visible contract stays one terminal response per request.
+    """
+    host, port = address
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "status": "error",
+        "id": request_id,
+        "error": {
+            "type": "shard-timeout",
+            "message": (
+                f"shard {shard} at {host}:{port} did not answer within "
+                f"{timeout:g}s; the connection was severed"
+            ),
+        },
+    }
+
+
 def _request_id_of(line: str) -> Optional[str]:
     """Best-effort extraction of a raw line's correlation id."""
     try:
@@ -135,25 +197,131 @@ def _request_id_of(line: str) -> Optional[str]:
     return None
 
 
+@dataclass
+class ClientCounters:
+    """Resilience counters of one :class:`ShardedClient` lifetime.
+
+    These are the client-side half of the recovery observability story —
+    the server-side half (``restarts``) rides in the shard's own stats
+    payload.  :meth:`ShardedClient.stats` merges both.
+    """
+
+    #: Resubmissions after a connection failure (bounded retry).
+    retries: int = 0
+    #: Requests resolved with a typed ``shard-timeout`` response.
+    timeouts: int = 0
+    #: Successful re-opens of a previously-connected shard.
+    reconnects: int = 0
+    #: Requests answered from the local execute path (breaker open).
+    degraded_responses: int = 0
+    #: Times any shard's breaker transitioned closed → open.
+    breaker_opens: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """The counters as a plain dict (stats payloads, tests)."""
+        return dict(vars(self))
+
+
+class _Breaker:
+    """Per-shard circuit breaker: closed → open → half-open → closed.
+
+    ``threshold`` consecutive failures open the breaker; after
+    ``cooldown`` seconds it reports ``half-open`` and one probe is
+    allowed — success closes it, failure re-opens it for another
+    cooldown.  ``threshold=None`` disables the breaker entirely (it then
+    always reports ``closed`` and records nothing).
+    """
+
+    __slots__ = ("threshold", "cooldown", "clock", "failures", "opened_at")
+
+    def __init__(self, threshold, cooldown, clock) -> None:
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.clock = clock
+        self.failures = 0
+        self.opened_at: Optional[float] = None
+
+    @property
+    def state(self) -> str:
+        """The breaker state: ``"closed"``, ``"open"`` or ``"half-open"``."""
+        if self.threshold is None or self.opened_at is None:
+            return "closed"
+        if self.clock() - self.opened_at >= self.cooldown:
+            return "half-open"
+        return "open"
+
+    def record_failure(self) -> bool:
+        """Count one failure; returns True when this transition *opened* it."""
+        if self.threshold is None:
+            return False
+        was_closed = self.opened_at is None
+        self.failures += 1
+        if self.failures >= self.threshold:
+            self.opened_at = self.clock()
+            return was_closed
+        return False
+
+    def record_success(self) -> None:
+        """A healthy round trip (or probe) closes the breaker."""
+        self.failures = 0
+        self.opened_at = None
+
+
+class _Pending:
+    """One in-flight request: its future, raw line and retry bookkeeping."""
+
+    __slots__ = ("future", "line", "attempts", "timer", "timed_out", "is_stats")
+
+    def __init__(
+        self, future: "asyncio.Future[str]", line: str, is_stats: bool = False
+    ) -> None:
+        self.future = future
+        self.line = line
+        self.attempts = 0
+        self.timer: Optional[asyncio.TimerHandle] = None
+        self.timed_out = False
+        self.is_stats = is_stats
+
+    def cancel_timer(self) -> None:
+        """Disarm the request-timeout timer, if one is armed."""
+        if self.timer is not None:
+            self.timer.cancel()
+            self.timer = None
+
+
 class _ShardConnection:
-    """One shard's socket plus its FIFO of unanswered requests."""
+    """One shard's socket, FIFO of unanswered requests, and breaker."""
 
-    __slots__ = ("index", "address", "reader", "writer", "pending", "alive", "read_task")
+    __slots__ = (
+        "index",
+        "address",
+        "reader",
+        "writer",
+        "pending",
+        "alive",
+        "read_task",
+        "breaker",
+        "connect_lock",
+        "ever_connected",
+    )
 
-    def __init__(self, index: int, address: Tuple[str, int]) -> None:
+    def __init__(self, index: int, address: Tuple[str, int], breaker: _Breaker) -> None:
         self.index = index
         self.address = address
         self.reader: Optional[asyncio.StreamReader] = None
         self.writer: Optional[asyncio.StreamWriter] = None
-        #: ``(future, raw_line)`` in send order — the shard answers in
+        #: :class:`_Pending` entries in send order — the shard answers in
         #: order, so the leftmost entry owns the next response line.
-        self.pending: "deque[Tuple[asyncio.Future, str]]" = deque()
+        self.pending: "deque[_Pending]" = deque()
         self.alive = False
         self.read_task: Optional[asyncio.Task] = None
+        self.breaker = breaker
+        self.connect_lock: Optional[asyncio.Lock] = None
+        self.ever_connected = False
 
 
 class ShardedClient:
-    """Client-side router over a set of shard servers.
+    """Resilient client-side router over a set of shard servers.
 
     Usage::
 
@@ -165,6 +333,36 @@ class ShardedClient:
     by awaiting responses in submission order (each shard individually
     preserves order, so a per-shard FIFO of futures suffices — no sequence
     numbers on the wire).
+
+    Parameters
+    ----------
+    addresses:
+        The shard set, index-aligned with the routing arithmetic.
+    max_inflight:
+        Per-client cap on outstanding requests in :meth:`stream`.
+    connect_timeout:
+        Seconds allowed per connection attempt (initial and reconnect).
+    request_timeout:
+        Optional per-request deadline, in seconds.  A request that
+        outlives it resolves to a typed ``shard-timeout`` response and
+        the stalled connection is severed.  ``None`` (default) keeps the
+        PR-5 behaviour of waiting forever.
+    max_retries:
+        Resubmissions allowed per request after connection failures,
+        each preceded by capped exponential backoff
+        (``retry_backoff * 2**attempt``, capped at ``retry_backoff_max``).
+        ``0`` (default) fails over immediately.
+    retry_backoff, retry_backoff_max:
+        Backoff base and cap, in seconds.
+    breaker_threshold:
+        Consecutive connection failures that open a shard's circuit
+        breaker; while open, submissions are answered from the local
+        execute path (``degraded_responses``).  ``None`` (default)
+        disables the breaker.
+    breaker_cooldown:
+        Seconds an open breaker waits before half-opening for a probe.
+    time_fn:
+        Clock used by the breakers (injectable for tests).
     """
 
     def __init__(
@@ -173,17 +371,46 @@ class ShardedClient:
         *,
         max_inflight: int = 64,
         connect_timeout: float = 5.0,
+        request_timeout: Optional[float] = None,
+        max_retries: int = 0,
+        retry_backoff: float = 0.05,
+        retry_backoff_max: float = 1.0,
+        breaker_threshold: Optional[int] = None,
+        breaker_cooldown: float = 1.0,
+        time_fn=time.monotonic,
     ) -> None:
         if not addresses:
             raise ServiceError("ShardedClient needs at least one shard address")
         if max_inflight < 1:
             raise ServiceError(f"max_inflight must be >= 1, got {max_inflight}")
+        if request_timeout is not None and request_timeout <= 0:
+            raise ServiceError(
+                f"request_timeout must be > 0 (or None), got {request_timeout}"
+            )
+        if max_retries < 0:
+            raise ServiceError(f"max_retries must be >= 0, got {max_retries}")
+        if breaker_threshold is not None and breaker_threshold < 1:
+            raise ServiceError(
+                f"breaker_threshold must be >= 1 (or None), got {breaker_threshold}"
+            )
         self._shards = [
-            _ShardConnection(index, tuple(address))
+            _ShardConnection(
+                index,
+                tuple(address),
+                _Breaker(breaker_threshold, breaker_cooldown, time_fn),
+            )
             for index, address in enumerate(addresses)
         ]
         self.max_inflight = max_inflight
         self.connect_timeout = connect_timeout
+        self.request_timeout = request_timeout
+        self.max_retries = max_retries
+        self.retry_backoff = retry_backoff
+        self.retry_backoff_max = retry_backoff_max
+        self.counters = ClientCounters()
+        self._closed = False
+        self._retry_tasks: "set[asyncio.Task]" = set()
+        self._local_service = None
 
     @classmethod
     def from_base(
@@ -202,19 +429,47 @@ class ShardedClient:
         """Indices of shards whose connections are currently healthy."""
         return [shard.index for shard in self._shards if shard.alive]
 
+    def breaker_states(self) -> List[str]:
+        """Current breaker state per shard, index-aligned."""
+        return [shard.breaker.state for shard in self._shards]
+
+    def client_stats(self) -> Dict[str, Any]:
+        """The client-side recovery counters plus per-shard breaker states."""
+        return {
+            **self.counters.as_dict(),
+            "breaker_state": self.breaker_states(),
+        }
+
     # -- lifecycle ----------------------------------------------------------
     async def connect(self) -> None:
-        """Open one connection per shard and start its response reader."""
+        """Open one connection per shard and start its response reader.
+
+        The *initial* connect is strict — an unreachable shard raises, so
+        misconfigured topologies fail loudly.  Failures after this point
+        are handled by the resilience machinery instead.
+        """
         for shard in self._shards:
             host, port = shard.address
             shard.reader, shard.writer = await asyncio.wait_for(
                 asyncio.open_connection(host, port), timeout=self.connect_timeout
             )
             shard.alive = True
+            shard.ever_connected = True
             shard.read_task = asyncio.create_task(self._read_loop(shard))
 
     async def close(self) -> None:
-        """Close every shard connection and stop the readers (idempotent)."""
+        """Close every shard connection and stop the readers (idempotent).
+
+        Pending retries are cancelled and unanswered requests resolve to
+        typed ``shard-unavailable`` responses — the one-response-per-
+        request invariant holds through shutdown too.
+        """
+        self._closed = True
+        for task in list(self._retry_tasks):
+            task.cancel()
+        if self._retry_tasks:
+            await asyncio.gather(*self._retry_tasks, return_exceptions=True)
+            self._retry_tasks.clear()
         for shard in self._shards:
             if shard.writer is not None:
                 shard.writer.close()
@@ -230,6 +485,9 @@ class ShardedClient:
                 shard.read_task = None
             self._fail_pending(shard)
             shard.alive = False
+        if self._local_service is not None:
+            self._local_service.close()
+            self._local_service = None
 
     async def __aenter__(self) -> "ShardedClient":
         """Async-context entry: connect to every shard."""
@@ -244,28 +502,17 @@ class ShardedClient:
     async def submit(self, line: str) -> "asyncio.Future[str]":
         """Route one request line; the future resolves to its response line.
 
-        A line routed to a dead shard resolves immediately with the typed
-        ``shard-unavailable`` response — submission never raises for shard
-        loss, so callers keep their one-response-per-request accounting.
+        Submission never raises for shard loss: every failure mode —
+        dead shard, stalled shard, exhausted retries, open breaker —
+        resolves the future with a typed (or locally-computed degraded)
+        response, so callers keep their one-response-per-request
+        accounting.
         """
         shard = self._shards[shard_for_line(line, len(self._shards))]
         loop = asyncio.get_running_loop()
         future: "asyncio.Future[str]" = loop.create_future()
-        if not shard.alive or shard.writer is None:
-            future.set_result(
-                response_line(
-                    shard_unavailable_response(
-                        shard.index, shard.address, _request_id_of(line)
-                    )
-                )
-            )
-            return future
-        shard.pending.append((future, line))
-        try:
-            shard.writer.write(line.encode("utf-8") + b"\n")
-            await shard.writer.drain()
-        except (ConnectionError, RuntimeError):
-            self._mark_dead(shard)
+        entry = _Pending(future, line)
+        await self._dispatch(shard, entry)
         return future
 
     async def stream(self, lines: Iterable[str]) -> List[str]:
@@ -286,31 +533,193 @@ class ShardedClient:
         return responses
 
     async def stats(self, request_id: Optional[str] = None) -> List[Dict[str, Any]]:
-        """Query every *live* shard's stats request type; one payload each.
+        """Query every shard's stats request type; one payload per shard.
 
-        Dead shards contribute their ``shard-unavailable`` response instead,
-        so the result always has one entry per shard, index-aligned.
+        Unreachable shards contribute their ``shard-unavailable`` response
+        instead, so the result always has one entry per shard,
+        index-aligned.  Each payload is augmented with a ``client``
+        section carrying this client's recovery counters
+        (``retries``, ``degraded_responses``, …) and the shard's
+        ``breaker_state`` — the round trip the stats schema test pins.
+        Stats probes bypass an open breaker on purpose: a successful
+        probe is exactly the signal that closes it.
         """
         line = response_line(stats_request(request_id))
+        loop = asyncio.get_running_loop()
         futures = []
         for shard in self._shards:
-            loop = asyncio.get_running_loop()
             future: "asyncio.Future[str]" = loop.create_future()
-            if not shard.alive or shard.writer is None:
-                future.set_result(
-                    response_line(
-                        shard_unavailable_response(shard.index, shard.address, request_id)
+            entry = _Pending(future, line, is_stats=True)
+            await self._dispatch(shard, entry)
+            futures.append(future)
+        payloads = [json.loads(await future) for future in futures]
+        for shard, payload in zip(self._shards, payloads):
+            client_section = {
+                **self.counters.as_dict(),
+                "breaker_state": shard.breaker.state,
+            }
+            if isinstance(payload.get("stats"), dict):
+                payload["stats"]["client"] = client_section
+            else:
+                payload["client"] = client_section
+        return payloads
+
+    # -- resilience machinery -----------------------------------------------
+    async def _dispatch(self, shard: _ShardConnection, entry: _Pending) -> None:
+        """Send one entry to its shard, degrading/failing per the policy."""
+        if self._closed:
+            self._resolve_unavailable(shard, entry)
+            return
+        if not entry.is_stats and shard.breaker.state == "open":
+            await self._resolve_degraded(shard, entry)
+            return
+        if not shard.alive and not await self._reconnect(shard):
+            await self._fail_or_retry(shard, entry)
+            return
+        writer = shard.writer
+        if writer is None:  # pragma: no cover - narrowed by alive
+            await self._fail_or_retry(shard, entry)
+            return
+        shard.pending.append(entry)
+        if self.request_timeout is not None:
+            loop = asyncio.get_running_loop()
+            entry.timer = loop.call_later(
+                self.request_timeout, self._on_timeout, shard, entry
+            )
+        try:
+            writer.write(entry.line.encode("utf-8") + b"\n")
+            await writer.drain()
+        except (ConnectionError, RuntimeError):
+            self._mark_dead(shard)
+
+    async def _reconnect(self, shard: _ShardConnection) -> bool:
+        """Try to (re-)open one shard's connection; returns success.
+
+        Serialized per shard so concurrent retries share one attempt.  A
+        successful re-open of a previously-connected shard counts as a
+        ``reconnect`` and closes the breaker (this is also the half-open
+        probe); a failure feeds the breaker.
+        """
+        if shard.connect_lock is None:
+            shard.connect_lock = asyncio.Lock()
+        async with shard.connect_lock:
+            if shard.alive:
+                return True
+            if self._closed:
+                return False
+            host, port = shard.address
+            try:
+                reader, writer = await asyncio.wait_for(
+                    asyncio.open_connection(host, port), timeout=self.connect_timeout
+                )
+            except (OSError, asyncio.TimeoutError):
+                if shard.breaker.record_failure():
+                    self.counters.breaker_opens += 1
+                return False
+            shard.reader, shard.writer = reader, writer
+            shard.alive = True
+            if shard.ever_connected:
+                self.counters.reconnects += 1
+            shard.ever_connected = True
+            shard.breaker.record_success()
+            shard.read_task = asyncio.create_task(self._read_loop(shard))
+            return True
+
+    async def _fail_or_retry(self, shard: _ShardConnection, entry: _Pending) -> None:
+        """Resolve a failed entry: typed error, degraded answer, or retry."""
+        if entry.future.done():
+            return
+        if entry.timed_out:
+            self.counters.timeouts += 1
+            entry.future.set_result(
+                response_line(
+                    shard_timeout_response(
+                        shard.index,
+                        shard.address,
+                        self.request_timeout or 0.0,
+                        _request_id_of(entry.line),
                     )
                 )
+            )
+            return
+        if entry.is_stats or self._closed:
+            self._resolve_unavailable(shard, entry)
+            return
+        if entry.attempts >= self.max_retries:
+            if shard.breaker.state == "open":
+                await self._resolve_degraded(shard, entry)
             else:
-                shard.pending.append((future, line))
-                try:
-                    shard.writer.write(line.encode("utf-8") + b"\n")
-                    await shard.writer.drain()
-                except (ConnectionError, RuntimeError):
-                    self._mark_dead(shard)
-            futures.append(future)
-        return [json.loads(await future) for future in futures]
+                self._resolve_unavailable(shard, entry)
+            return
+        entry.attempts += 1
+        self.counters.retries += 1
+        delay = min(
+            self.retry_backoff_max,
+            self.retry_backoff * (2.0 ** (entry.attempts - 1)),
+        )
+        task = asyncio.create_task(self._retry_later(shard, entry, delay))
+        self._retry_tasks.add(task)
+        task.add_done_callback(self._retry_tasks.discard)
+
+    async def _retry_later(
+        self, shard: _ShardConnection, entry: _Pending, delay: float
+    ) -> None:
+        """Backoff, then re-dispatch one entry (idempotent resubmission)."""
+        try:
+            await asyncio.sleep(delay)
+            await self._dispatch(shard, entry)
+        except asyncio.CancelledError:
+            self._resolve_unavailable(shard, entry)
+            raise
+
+    async def _resolve_degraded(self, shard: _ShardConnection, entry: _Pending) -> None:
+        """Answer one entry from the local execute path (breaker open).
+
+        The local pipeline is the same validate → canonicalize → simulate
+        sequence the server runs, so — by the determinism contract — the
+        degraded response is byte-identical to what the healthy shard
+        would have answered.  The work runs in a thread so the event loop
+        keeps multiplexing the healthy shards.
+        """
+        loop = asyncio.get_running_loop()
+        text = await loop.run_in_executor(None, self._execute_locally, entry.line)
+        self.counters.degraded_responses += 1
+        if not entry.future.done():
+            entry.future.set_result(text)
+
+    def _execute_locally(self, line: str) -> str:
+        """Thread body of the degraded path: one request through a local service."""
+        if self._local_service is None:
+            from .cache import LRUResultCache
+            from .dispatcher import ScheduleService
+
+            self._local_service = ScheduleService(
+                workers=1,
+                batch_size=1,
+                max_queue=1,
+                cache=LRUResultCache(max_entries=256),
+            )
+        (response,) = self._local_service.serve_chunk([line])
+        return response_line(response)
+
+    def _on_timeout(self, shard: _ShardConnection, entry: _Pending) -> None:
+        """Request-timeout callback: sever the stalled connection.
+
+        Responses match pending requests by order, so once the
+        head-of-line answer is overdue the connection's remaining stream
+        is unattributable — the only safe move is to kill the connection
+        and let the failure path resolve (timeout) or resubmit (retry)
+        each pending entry.
+        """
+        entry.timer = None
+        if entry.future.done():
+            return
+        entry.timed_out = True
+        if shard.writer is not None:
+            transport = shard.writer.transport
+            if transport is not None:
+                transport.abort()
+        self._mark_dead(shard)
 
     # -- internals ----------------------------------------------------------
     async def _read_loop(self, shard: _ShardConnection) -> None:
@@ -323,9 +732,11 @@ class ShardedClient:
                     break
                 if not shard.pending:
                     continue  # protocol violation: response with no request
-                future, _line = shard.pending.popleft()
-                if not future.done():
-                    future.set_result(raw.decode("utf-8").rstrip("\n"))
+                entry = shard.pending.popleft()
+                entry.cancel_timer()
+                shard.breaker.record_success()
+                if not entry.future.done():
+                    entry.future.set_result(raw.decode("utf-8").rstrip("\n"))
         except (ConnectionError, asyncio.IncompleteReadError, ValueError):
             pass
         except asyncio.CancelledError:
@@ -334,19 +745,76 @@ class ShardedClient:
             self._mark_dead(shard)
 
     def _mark_dead(self, shard: _ShardConnection) -> None:
-        """Fail the shard over: resolve its pending futures, reject new work."""
+        """Fail the shard over: route its pending entries to the failure path."""
+        if not shard.alive and not shard.pending:
+            return
         shard.alive = False
-        self._fail_pending(shard)
+        if shard.writer is not None:
+            shard.writer.close()
+            shard.writer = None
+        # A connection severed by our own close() is not a shard failure.
+        if not self._closed and shard.breaker.record_failure():
+            self.counters.breaker_opens += 1
+        entries = list(shard.pending)
+        shard.pending.clear()
+        for entry in entries:
+            entry.cancel_timer()
+        if not entries:
+            return
+        try:
+            loop = asyncio.get_running_loop()
+        except RuntimeError:  # pragma: no cover - loop already gone
+            for entry in entries:
+                self._resolve_unavailable(shard, entry)
+            return
+        for entry in entries:
+            if self._needs_async_resolution(shard, entry):
+                task = loop.create_task(self._fail_or_retry(shard, entry))
+                self._retry_tasks.add(task)
+                task.add_done_callback(self._retry_tasks.discard)
+            else:
+                self._resolve_immediately(shard, entry)
 
-    def _fail_pending(self, shard: _ShardConnection) -> None:
-        """Resolve every pending future with the typed unavailable response."""
-        while shard.pending:
-            future, line = shard.pending.popleft()
-            if not future.done():
-                future.set_result(
-                    response_line(
-                        shard_unavailable_response(
-                            shard.index, shard.address, _request_id_of(line)
-                        )
+    def _needs_async_resolution(self, shard: _ShardConnection, entry: _Pending) -> bool:
+        """Whether an entry's failure path may retry or degrade (async work)."""
+        if self._closed or entry.is_stats or entry.timed_out:
+            return False
+        if entry.attempts < self.max_retries:
+            return True
+        return shard.breaker.state == "open"
+
+    def _resolve_immediately(self, shard: _ShardConnection, entry: _Pending) -> None:
+        """Synchronously resolve an entry that cannot retry or degrade."""
+        if entry.future.done():
+            return
+        if entry.timed_out:
+            self.counters.timeouts += 1
+            entry.future.set_result(
+                response_line(
+                    shard_timeout_response(
+                        shard.index,
+                        shard.address,
+                        self.request_timeout or 0.0,
+                        _request_id_of(entry.line),
                     )
                 )
+            )
+            return
+        self._resolve_unavailable(shard, entry)
+
+    def _resolve_unavailable(self, shard: _ShardConnection, entry: _Pending) -> None:
+        """Resolve one entry with the typed unavailable response."""
+        entry.cancel_timer()
+        if not entry.future.done():
+            entry.future.set_result(
+                response_line(
+                    shard_unavailable_response(
+                        shard.index, shard.address, _request_id_of(entry.line)
+                    )
+                )
+            )
+
+    def _fail_pending(self, shard: _ShardConnection) -> None:
+        """Resolve every pending entry with the typed unavailable response."""
+        while shard.pending:
+            self._resolve_unavailable(shard, shard.pending.popleft())

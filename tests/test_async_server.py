@@ -170,7 +170,7 @@ class TestSingleConnection:
         assert stats["type"] == "stats" and stats["id"] == "health-1"
         assert stats["status"] == "ok"
         payload = stats["stats"]
-        assert payload["shard"] == {"index": 1, "count": 3}
+        assert payload["shard"] == {"index": 1, "count": 3, "restarts": 0}
         assert payload["uptime_s"] > 0
         assert payload["shed"] == 0
         assert payload["server"]["requests_received"] >= 1

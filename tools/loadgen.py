@@ -131,6 +131,7 @@ async def _drive_one_client(
     addresses: List[Tuple[str, int]],
     lines: List[str],
     max_inflight: int,
+    request_timeout: Optional[float] = None,
 ) -> Tuple[List[str], List[float]]:
     """Stream every line over one connection set; returns (responses, latencies).
 
@@ -147,7 +148,9 @@ async def _drive_one_client(
         responses.append(await future)
         latencies.append(time.perf_counter() - t0)
 
-    async with ShardedClient(addresses, max_inflight=max_inflight) as client:
+    async with ShardedClient(
+        addresses, max_inflight=max_inflight, request_timeout=request_timeout
+    ) as client:
         for line in lines:
             while len(window) >= max_inflight:
                 await settle()
@@ -167,7 +170,7 @@ async def _drive(
     started = time.perf_counter()
     results = await asyncio.gather(
         *(
-            _drive_one_client(addresses, lines, args.max_inflight)
+            _drive_one_client(addresses, lines, args.max_inflight, args.timeout)
             for _ in range(args.connections)
         )
     )
@@ -313,12 +316,24 @@ def main(argv=None) -> int:
         help="per-client cap on outstanding requests (closed-loop window)",
     )
     parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "with --connect: per-request deadline; a stalled shard resolves "
+            "to a typed shard-timeout response instead of hanging the client"
+        ),
+    )
+    parser.add_argument(
         "--stats-json",
         metavar="FILE",
         default=None,
         help="with --connect: write RPS/latency/drop statistics to FILE",
     )
     args = parser.parse_args(argv)
+    if args.timeout is not None and args.timeout <= 0:
+        parser.error("--timeout must be > 0")
     if args.requests < 1 or args.unique < 1 or args.workers < 1 or args.tasks < 5:
         parser.error("--requests/--unique/--workers must be >= 1, --tasks >= 5")
     if args.rate <= 0 or args.period <= 0:

@@ -29,7 +29,11 @@ The suite covers the layers a serving regression could hide in:
   (the steady-state serving hot path);
 * ``service_persistent_rps`` — the persistent asyncio TCP server under
   sustained concurrent connections; records steady-state RPS plus p50/p99
-  request latency alongside the usual wall-clock stats.
+  request latency alongside the usual wall-clock stats;
+* ``service_chaos_rps`` — the same persistent server *crashed and
+  restarted mid-stream* under a resilient client (timeout + retry +
+  circuit breaker): the cost of riding through a failure, and the proof
+  that zero requests are lost while doing so.
 
 Run with::
 
@@ -272,6 +276,82 @@ def bench_service_persistent_rps(runs: int, n_requests: int) -> Dict[str, Any]:
     }
 
 
+def bench_service_chaos_rps(runs: int, n_requests: int) -> Dict[str, Any]:
+    """Persistent server crashed and restarted mid-stream, client riding through.
+
+    Halfway through the stream the server is torn down and a replacement
+    is booted on the same port — the in-process analogue of a supervisor
+    restart (``tools/chaos.py`` does it against real processes).  The
+    client runs with the full resilience stack (per-request timeout,
+    bounded retry, breaker threshold 1 with a short cooldown), so every
+    request resolves terminally: served, retried onto the restarted
+    server, or degraded to byte-identical local execution.  Records the
+    terminal-response RPS plus the ``ok`` share — a chaos run that loses
+    requests fails the benchmark outright.
+    """
+    lines = synthetic_request_lines(n_requests)
+    ok_counts: List[int] = []
+
+    def make_server(host: str, port: int) -> AsyncScheduleServer:
+        return AsyncScheduleServer(
+            ScheduleService(workers=1, batch_size=16, max_queue=4096, cache=None),
+            host,
+            port,
+        )
+
+    async def drive() -> None:
+        server = make_server("127.0.0.1", 0)
+        await server.start()
+        host, port = server.address
+        client = ShardedClient(
+            [(host, port)],
+            max_inflight=32,
+            request_timeout=5.0,
+            max_retries=2,
+            retry_backoff=0.01,
+            breaker_threshold=1,
+            breaker_cooldown=0.05,
+        )
+        await client.connect()
+        try:
+            futures = []
+            for index, line in enumerate(lines):
+                if index == n_requests // 2:
+                    await server.close()  # the crash...
+                    server = make_server(host, port)
+                    await server.start()  # ...and the supervisor's restart
+                futures.append(await client.submit(line))
+            responses = await asyncio.gather(*futures)
+        finally:
+            await client.close()
+            await server.close()
+        if len(responses) != n_requests:
+            raise RuntimeError(
+                f"chaos benchmark lost requests: {len(responses)}/{n_requests}"
+            )
+        ok_counts.append(
+            sum(1 for text in responses if json.loads(text).get("status") == "ok")
+        )
+
+    def run() -> None:
+        asyncio.run(drive())
+
+    timing = _time(run, runs)
+    return {
+        **timing,
+        "rps": n_requests / timing["min_s"],
+        "ok_fraction": min(ok_counts) / n_requests,
+        "runs": runs,
+        "params": {
+            "n_requests": n_requests,
+            "crash_at": n_requests // 2,
+            "max_retries": 2,
+            "breaker_threshold": 1,
+            "cache": "none",
+        },
+    }
+
+
 def run_suite(runs: int, n_requests: int) -> Dict[str, Dict[str, Any]]:
     """Execute every benchmark; returns the ``BENCH_service.json`` payload."""
     return {
@@ -282,6 +362,7 @@ def run_suite(runs: int, n_requests: int) -> Dict[str, Dict[str, Any]]:
         "service_unique_stream": bench_service_unique_stream(runs, n_requests),
         "service_cached_stream": bench_service_cached_stream(runs, n_requests),
         "service_persistent_rps": bench_service_persistent_rps(runs, n_requests),
+        "service_chaos_rps": bench_service_chaos_rps(runs, n_requests),
     }
 
 
