@@ -327,6 +327,31 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulation kernel executing a batch's unique requests (responses are identical)",
     )
     serve.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "persist the result cache under this directory (per-shard "
+            "journal + snapshot) and replay it on restart, so a restarted "
+            "shard comes back warm instead of cold (see docs/SERVICE.md)"
+        ),
+    )
+    serve.add_argument(
+        "--journal-max-entries",
+        type=_positive_int,
+        default=1024,
+        metavar="N",
+        help=(
+            "with --state-dir: journal records beyond which the journal is "
+            "compacted into an atomic snapshot"
+        ),
+    )
+    serve.add_argument(
+        "--no-persist",
+        action="store_true",
+        help="with --state-dir: disable durability without dropping the flag",
+    )
+    serve.add_argument(
         "--restart-limit",
         type=_nonnegative_int,
         default=5,
@@ -618,13 +643,54 @@ def _cmd_scenario(args: argparse.Namespace) -> int:
     return 0
 
 
+def _build_persistence(args: argparse.Namespace):
+    """The shard's durability layer per the serve flags (or ``None``).
+
+    Each shard journals under its own ``shard-<index>`` subdirectory of
+    ``--state-dir`` (the index rides in ``REPRO_SHARD_INDEX``, so
+    supervisor respawns land on the dead shard's journal), keeping the
+    replayed keyspace slice aligned with canonical-key routing.
+    """
+    if args.state_dir is None or args.no_persist or not args.cache_size:
+        return None
+    import os
+    from pathlib import Path
+
+    from .service.persistence import ShardPersistence
+
+    shard_index = int(os.environ.get("REPRO_SHARD_INDEX", "0"))
+    return ShardPersistence(
+        Path(args.state_dir) / f"shard-{shard_index:02d}",
+        journal_max_entries=args.journal_max_entries,
+    )
+
+
 def _build_service(args: argparse.Namespace) -> ScheduleService:
-    """One dispatcher configured from the ``repro serve`` flags."""
+    """One dispatcher configured from the ``repro serve`` flags.
+
+    With ``--state-dir``, the cache is warm-loaded from the shard's
+    journal+snapshot *here* — before the caller starts accepting
+    requests — so a restarted shard's first connection already sees the
+    replayed results.
+    """
     cache = (
-        LRUResultCache(max_entries=args.cache_size, ttl=args.ttl)
+        LRUResultCache(
+            max_entries=args.cache_size,
+            ttl=args.ttl,
+            persistence=_build_persistence(args),
+        )
         if args.cache_size
         else None
     )
+    if cache is not None and cache.persistence is not None:
+        warmed = cache.warm_load()
+        if not args.quiet:
+            print(
+                f"persistence: replayed {warmed} cached result(s) from "
+                f"{cache.persistence.state_dir}",
+                file=sys.stderr,
+                flush=True,
+            )
     return ScheduleService(
         workers=args.workers,
         batch_size=args.batch_size,
@@ -648,6 +714,14 @@ def _serve_flag_argv(args: argparse.Namespace) -> List[str]:
         argv += ["--ttl", str(args.ttl)]
     if args.max_cost is not None:
         argv += ["--max-cost", str(args.max_cost)]
+    if args.state_dir is not None:
+        # Respawned shards replay their journal, so restarts come back warm.
+        argv += [
+            "--state-dir", str(args.state_dir),
+            "--journal-max-entries", str(args.journal_max_entries),
+        ]
+    if args.no_persist:
+        argv.append("--no-persist")
     if args.quiet:
         argv.append("--quiet")
     return argv
@@ -723,9 +797,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             print("error: --shards requires --listen", file=sys.stderr)
             return 2
         with _build_service(args) as service:
-            serve_stream(
-                sys.stdin, service, sys.stdout, err=None if args.quiet else sys.stderr
-            )
+            try:
+                serve_stream(
+                    sys.stdin,
+                    service,
+                    sys.stdout,
+                    err=None if args.quiet else sys.stderr,
+                )
+            finally:
+                if service.cache is not None:
+                    service.cache.close()
         return 0
 
     try:
@@ -742,17 +823,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     shard_count = int(os.environ.get("REPRO_SHARD_COUNT", "1"))
     shard_restarts = int(os.environ.get("REPRO_SHARD_RESTARTS", "0"))
     with _build_service(args) as service:
-        main_serve_forever(
-            service,
-            host,
-            port,
-            shard_index=shard_index,
-            shard_count=shard_count,
-            shard_restarts=shard_restarts,
-            err=sys.stderr,
-        )
-        if not args.quiet:
-            print(service.stats.summary(), file=sys.stderr)
+        try:
+            main_serve_forever(
+                service,
+                host,
+                port,
+                shard_index=shard_index,
+                shard_count=shard_count,
+                shard_restarts=shard_restarts,
+                err=sys.stderr,
+            )
+            if not args.quiet:
+                print(service.stats.summary(), file=sys.stderr)
+        finally:
+            if service.cache is not None:
+                service.cache.close()
     return 0
 
 

@@ -35,7 +35,12 @@ ROADMAP's "serve heavy traffic" north star.  Five pieces compose:
 * :mod:`~repro.service.faults` — **deterministic fault schedules**
   (seeded crash/stall/drop events at request-count boundaries, correlated
   bursts à la iterated-Poisson) that ``tools/chaos.py`` drives against
-  real server processes.
+  real server processes;
+* :mod:`~repro.service.persistence` — **crash-safe cache durability**:
+  per-shard append-only journal (length+CRC framed, torn tails truncated
+  on replay) compacted into atomic snapshots, so a restarted shard
+  warm-loads the dead shard's cached results before accepting
+  connections.
 
 See ``docs/SERVICE.md`` for the request schema and the determinism/caching
 contract.
@@ -58,6 +63,7 @@ from .schema import (
     stats_request,
 )
 from .faults import FAULT_KINDS, FaultEvent, FaultSchedule
+from .persistence import ShardPersistence, decode_journal, encode_record
 from .server import response_line, serve_lines, serve_stream
 from .sharding import (
     ClientCounters,
@@ -88,9 +94,12 @@ __all__ = [
     "ScheduleService",
     "ServerStats",
     "ServiceStats",
+    "ShardPersistence",
     "ShardedClient",
     "build_tasks",
     "canonicalize_request",
+    "decode_journal",
+    "encode_record",
     "execute_config",
     "execute_request",
     "is_stats_request",

@@ -16,6 +16,14 @@ determinism contract, ``docs/SERVICE.md``), a hit and a recompute are
 byte-identical — caching changes latency and the hit/miss statistics on
 stderr, never the response stream on stdout.
 
+An optional :class:`~repro.service.persistence.ShardPersistence` makes the
+cache **durable across restarts**: every :meth:`put` writes through to an
+append-only journal (compacted into an atomic snapshot when it grows past
+a threshold), and :meth:`warm_load` replays journal+snapshot into the
+cache before a restarted server accepts connections.  Hits on replayed
+entries are counted separately (``warm_hits``) so a soak/chaos audit can
+assert that a SIGKILLed shard really came back warm.
+
 The clock is injectable (``clock=`` takes any zero-argument callable
 returning seconds) so TTL behaviour is testable without sleeping.
 """
@@ -24,9 +32,12 @@ from __future__ import annotations
 
 import time
 from collections import OrderedDict
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple, TYPE_CHECKING
 
 from ..exceptions import ServiceError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .persistence import ShardPersistence
 
 __all__ = ["LRUResultCache"]
 
@@ -39,6 +50,7 @@ class LRUResultCache:
         max_entries: int = 1024,
         ttl: Optional[float] = None,
         clock: Callable[[], float] = time.monotonic,
+        persistence: "Optional[ShardPersistence]" = None,
     ) -> None:
         if max_entries <= 0:
             raise ServiceError(f"max_entries must be positive, got {max_entries}")
@@ -47,12 +59,17 @@ class LRUResultCache:
         self.max_entries = max_entries
         self.ttl = ttl
         self._clock = clock
+        self.persistence = persistence
         #: key -> (stored_at, value); insertion/refresh order = LRU order.
         self._entries: "OrderedDict[str, Tuple[float, Any]]" = OrderedDict()
+        #: Keys inserted by :meth:`warm_load` and not yet recomputed —
+        #: a :meth:`get` hit on one of these counts as a warm hit.
+        self._warm_keys: set = set()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.expirations = 0
+        self.warm_hits = 0
 
     def get(self, key: str) -> Optional[Any]:
         """Return the cached value for ``key``, or ``None`` on miss/expiry."""
@@ -63,21 +80,65 @@ class LRUResultCache:
         stored_at, value = entry
         if self.ttl is not None and self._clock() - stored_at > self.ttl:
             del self._entries[key]
+            self._warm_keys.discard(key)
             self.expirations += 1
             self.misses += 1
             return None
         self._entries.move_to_end(key)
         self.hits += 1
+        if key in self._warm_keys:
+            self.warm_hits += 1
         return value
 
     def put(self, key: str, value: Any) -> None:
-        """Insert (or refresh) one result, evicting the LRU entry if full."""
+        """Insert (or refresh) one result, evicting the LRU entry if full.
+
+        With a persistence layer attached, the entry is also written
+        through to the shard journal before it becomes visible, and the
+        journal is compacted into a snapshot once it outgrows its bound —
+        so a crash after any :meth:`put` can replay the entry on restart.
+        """
+        if self.persistence is not None:
+            self.persistence.record(key, value)
+        self._insert(key, value, warm=False)
+        if self.persistence is not None and self.persistence.should_compact():
+            self.persistence.compact(self.items())
+
+    def _insert(self, key: str, value: Any, *, warm: bool) -> None:
+        """Shared insert path for :meth:`put` and :meth:`warm_load`."""
         if key in self._entries:
             del self._entries[key]
         elif len(self._entries) >= self.max_entries:
-            self._entries.popitem(last=False)
+            evicted, _ = self._entries.popitem(last=False)
+            self._warm_keys.discard(evicted)
             self.evictions += 1
+        if warm:
+            self._warm_keys.add(key)
+        else:
+            self._warm_keys.discard(key)
         self._entries[key] = (self._clock(), value)
+
+    def warm_load(self) -> int:
+        """Replay the persistence layer's snapshot+journal into the cache.
+
+        Returns how many entries are resident afterwards.  Entries are
+        inserted in write order (later journal entries overwrite earlier
+        ones — replay is idempotent because keys are content hashes), do
+        not touch the hit/miss counters, and are flagged so later hits on
+        them increment ``warm_hits``.  Without a persistence layer this is
+        a no-op returning 0.
+        """
+        if self.persistence is None:
+            return 0
+        loaded = 0
+        for key, value in self.persistence.load():
+            self._insert(key, value, warm=True)
+            loaded += 1
+        return len(self._warm_keys) if loaded else 0
+
+    def items(self) -> Tuple[Tuple[str, Any], ...]:
+        """Resident ``(key, value)`` pairs in LRU order (coldest first)."""
+        return tuple((key, value) for key, (_, value) in self._entries.items())
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -108,17 +169,35 @@ class LRUResultCache:
         """Drop every entry; returns how many were removed."""
         removed = len(self._entries)
         self._entries.clear()
+        self._warm_keys.clear()
         return removed
 
-    def stats(self) -> Dict[str, int]:
-        """Hit/miss/eviction/expiration counters plus the current size."""
-        return {
+    def close(self) -> None:
+        """Release the persistence layer's file handles (idempotent)."""
+        if self.persistence is not None:
+            self.persistence.close()
+
+    def stats(self) -> Dict[str, Any]:
+        """Hit/miss/eviction/expiration/warm counters plus durability state.
+
+        ``journal_entries`` and ``snapshot_age_s`` are ``None`` when no
+        persistence layer is attached (``snapshot_age_s`` also before the
+        first compaction), so consumers can distinguish "durability off"
+        from "journal empty".
+        """
+        stats: Dict[str, Any] = {
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
             "expirations": self.expirations,
             "size": len(self._entries),
+            "warm_hits": self.warm_hits,
+            "journal_entries": None,
+            "snapshot_age_s": None,
         }
+        if self.persistence is not None:
+            stats.update(self.persistence.stats())
+        return stats
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (

@@ -81,7 +81,8 @@ def serve_stream(
                 f"cache: {cache['hits']} hit(s), {cache['misses']} miss(es), "
                 f"{cache['evictions']} eviction(s), "
                 f"{cache['expirations']} expiration(s), "
-                f"{cache['size']} resident",
+                f"{cache['size']} resident, "
+                f"{cache['warm_hits']} warm hit(s)",
                 file=err,
             )
     return written

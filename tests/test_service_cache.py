@@ -139,4 +139,7 @@ class TestStats:
             "evictions": 1,
             "expirations": 1,
             "size": 1,
+            "warm_hits": 0,
+            "journal_entries": None,
+            "snapshot_age_s": None,
         }

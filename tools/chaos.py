@@ -88,10 +88,19 @@ class SupervisorTree:
     collects the announced restart delays for the backoff audit.
     """
 
-    def __init__(self, args: argparse.Namespace, base_port: int) -> None:
+    def __init__(
+        self,
+        args: argparse.Namespace,
+        base_port: int,
+        extra_flags: Optional[List[str]] = None,
+    ) -> None:
         self.n_shards = args.shards
         self.base_port = base_port
         self.pids: Dict[int, int] = {}
+        #: Every shard pid ever announced — shutdown must SIGCONT/reap all
+        #: incarnations, not just the current ones (a replaced pid can
+        #: still be a stopped zombie if a stall raced a restart).
+        self.all_pids: "set[int]" = set()
         self.restart_delays: List[float] = []
         self.stderr_lines: List[str] = []
         self._lock = threading.Lock()
@@ -103,7 +112,7 @@ class SupervisorTree:
             "--restart-base-delay", str(args.restart_base_delay),
             "--restart-limit", str(args.restart_limit),
             "--quiet",
-        ]
+        ] + list(extra_flags or [])
         env = dict(os.environ)
         env.setdefault("PYTHONPATH", str(Path(__file__).resolve().parent.parent / "src"))
         self.process = subprocess.Popen(
@@ -120,7 +129,9 @@ class SupervisorTree:
                 self.stderr_lines.append(line.rstrip("\n"))
                 spawn = _SPAWN_RE.search(line)
                 if spawn:
-                    self.pids[int(spawn.group(1)) - 1] = int(spawn.group(2))
+                    pid = int(spawn.group(2))
+                    self.pids[int(spawn.group(1)) - 1] = pid
+                    self.all_pids.add(pid)
                 delay = _RESTART_RE.search(line)
                 if delay:
                     self.restart_delays.append(float(delay.group(1)))
@@ -159,8 +170,32 @@ class SupervisorTree:
                         )
                     time.sleep(0.05)
 
+    def _known_pids(self) -> List[int]:
+        """Every shard pid ever announced, snapshotted under the lock."""
+        with self._lock:
+            return sorted(self.all_pids)
+
+    @staticmethod
+    def _signal_pid(pid: int, signum: int) -> bool:
+        """Best-effort ``kill``; False when the pid is gone/foreign."""
+        try:
+            os.kill(pid, signum)
+            return True
+        except OSError:
+            return False
+
     def shutdown(self) -> None:
-        """SIGTERM the supervisor and reap the tree (SIGKILL fallback)."""
+        """SIGCONT every shard, SIGTERM the supervisor, reap the whole tree.
+
+        Idempotent, and safe to call on *any* exit path (normal drain,
+        drain timeout, KeyboardInterrupt): a SIGSTOPped shard ignores the
+        supervisor's forwarded SIGTERM, so every child we ever saw is
+        resumed first, and any shard still alive after the supervisor is
+        gone — e.g. orphaned by a SIGKILLed supervisor — is reaped by pid
+        so an interrupted run can never leak stopped processes.
+        """
+        for pid in self._known_pids():
+            self._signal_pid(pid, signal.SIGCONT)
         if self.process.poll() is None:
             self.process.send_signal(signal.SIGTERM)
             try:
@@ -170,6 +205,21 @@ class SupervisorTree:
                 self.process.wait()
         if self._watcher.is_alive():
             self._watcher.join(timeout=2.0)
+        # The shards are grandchildren (the supervisor's children), so
+        # there is no waitpid to collect here — SIGKILL after SIGCONT is
+        # terminal, and init adopts+reaps the orphans.
+        leaked = []
+        for pid in self._known_pids():
+            if self._signal_pid(pid, 0):
+                self._signal_pid(pid, signal.SIGCONT)
+                if self._signal_pid(pid, signal.SIGKILL):
+                    leaked.append(pid)
+        if leaked:
+            print(
+                f"chaos: reaped {len(leaked)} leftover shard process(es) "
+                f"{leaked}",
+                file=sys.stderr,
+            )
 
 
 def _free_base_port(n_shards: int) -> int:
@@ -494,13 +544,17 @@ def main(argv=None) -> int:
         tree.wait_ready()
         outcome = asyncio.run(drive(args, tree, lines, schedule))
     except asyncio.TimeoutError:
-        tree.shutdown()
         print(
             f"chaos: FAILED - response stream did not drain within "
             f"{args.drain_timeout}s (lost/hung requests)",
             file=sys.stderr,
         )
         return 1
+    except KeyboardInterrupt:
+        # The finally below resumes + reaps the whole tree, so an
+        # interrupted run leaves no stopped shards behind.
+        print("chaos: interrupted - reaping the supervised tree", file=sys.stderr)
+        return 130
     finally:
         tree.shutdown()
 

@@ -4,7 +4,10 @@
 Emits ``--requests`` JSONL schedule requests on stdout, ready to pipe into
 ``repro serve`` — or, with ``--connect HOST:PORT``, drives the stream over
 **sustained concurrent TCP connections** against a persistent (optionally
-sharded) server and records steady-state RPS and p50/p99 latency.  Two
+sharded) server and records steady-state RPS and p50/p99 latency.  Adding
+``--duration SECONDS`` switches the connected mode from "stream the file
+once" to **wall-clock load**: each client cycles the generated file until
+the deadline passes (soak runs), then drains its in-flight window.  Two
 ingredients make the stream a realistic serving workload rather than a
 uniform batch:
 
@@ -132,12 +135,17 @@ async def _drive_one_client(
     lines: List[str],
     max_inflight: int,
     request_timeout: Optional[float] = None,
+    duration: Optional[float] = None,
 ) -> Tuple[List[str], List[float]]:
-    """Stream every line over one connection set; returns (responses, latencies).
+    """Stream the request file over one connection set; returns (responses, latencies).
 
     Latency is measured per request, submit-to-response, with at most
     ``max_inflight`` requests outstanding — a sustained closed-loop client,
-    not a single giant burst.
+    not a single giant burst.  Without ``duration`` the client streams the
+    file exactly once; with it, the client **cycles** the file until the
+    wall-clock deadline passes (open-loop load over a fixed time window —
+    the soak-run mode), then drains its in-flight window, so every
+    submitted request still resolves.
     """
     responses: List[str] = []
     latencies: List[float] = []
@@ -151,11 +159,22 @@ async def _drive_one_client(
     async with ShardedClient(
         addresses, max_inflight=max_inflight, request_timeout=request_timeout
     ) as client:
-        for line in lines:
-            while len(window) >= max_inflight:
-                await settle()
-            t0 = time.perf_counter()
-            window.append((await client.submit(line), t0))
+        if duration is None:
+            for line in lines:
+                while len(window) >= max_inflight:
+                    await settle()
+                t0 = time.perf_counter()
+                window.append((await client.submit(line), t0))
+        else:
+            deadline = time.perf_counter() + duration
+            index = 0
+            while time.perf_counter() < deadline:
+                while len(window) >= max_inflight:
+                    await settle()
+                line = lines[index % len(lines)]
+                index += 1
+                t0 = time.perf_counter()
+                window.append((await client.submit(line), t0))
         while window:
             await settle()
     return responses, latencies
@@ -170,7 +189,9 @@ async def _drive(
     started = time.perf_counter()
     results = await asyncio.gather(
         *(
-            _drive_one_client(addresses, lines, args.max_inflight, args.timeout)
+            _drive_one_client(
+                addresses, lines, args.max_inflight, args.timeout, args.duration
+            )
             for _ in range(args.connections)
         )
     )
@@ -199,8 +220,14 @@ def run_connected(args: argparse.Namespace, out, err) -> int:
     lines = generate_lines(args)
     streams, latencies, elapsed = asyncio.run(_drive(args, lines))
 
-    expected = len(lines) * args.connections
     received = sum(len(stream) for stream in streams)
+    if args.duration is None:
+        expected = len(lines) * args.connections
+    else:
+        # Duration mode is open-ended: each client cycles the file until
+        # the wall-clock deadline and drains its window, so "expected" is
+        # exactly what was submitted — a lost request would have raised.
+        expected = received
     statuses: Counter = Counter()
     for stream in streams:
         for response_text in stream:
@@ -209,13 +236,22 @@ def run_connected(args: argparse.Namespace, out, err) -> int:
             except json.JSONDecodeError:
                 statuses["unparseable"] += 1
     drops = expected - received
-    divergent = [
-        index for index, stream in enumerate(streams[1:], start=1) if stream != streams[0]
-    ]
+    # Cross-client byte-identity only holds when every client streams the
+    # same finite file; duration-mode clients stop at independent
+    # wall-clock deadlines, so their stream lengths legitimately differ.
+    if args.duration is None:
+        divergent = [
+            index
+            for index, stream in enumerate(streams[1:], start=1)
+            if stream != streams[0]
+        ]
+    else:
+        divergent = []
 
     latencies.sort()
     stats = {
         "requests": len(lines),
+        "duration_s": args.duration,
         "connections": args.connections,
         "shards": args.shards,
         "expected_responses": expected,
@@ -326,6 +362,17 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "with --connect: cycle the generated request file for this many "
+            "wall-clock seconds instead of streaming it exactly once "
+            "(open-loop soak load; --requests sets the cycled pool size)"
+        ),
+    )
+    parser.add_argument(
         "--stats-json",
         metavar="FILE",
         default=None,
@@ -334,6 +381,11 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.timeout is not None and args.timeout <= 0:
         parser.error("--timeout must be > 0")
+    if args.duration is not None:
+        if args.duration <= 0:
+            parser.error("--duration must be > 0")
+        if args.connect is None:
+            parser.error("--duration requires --connect")
     if args.requests < 1 or args.unique < 1 or args.workers < 1 or args.tasks < 5:
         parser.error("--requests/--unique/--workers must be >= 1, --tasks >= 5")
     if args.rate <= 0 or args.period <= 0:

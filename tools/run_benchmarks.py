@@ -33,7 +33,11 @@ The suite covers the layers a serving regression could hide in:
 * ``service_chaos_rps`` — the same persistent server *crashed and
   restarted mid-stream* under a resilient client (timeout + retry +
   circuit breaker): the cost of riding through a failure, and the proof
-  that zero requests are lost while doing so.
+  that zero requests are lost while doing so;
+* ``service_warm_restart`` — restart recovery with the durability layer:
+  the first full stream served after a restart, timed warm (journal
+  replayed into the cache) vs. cold (every request re-simulates); records
+  the ``speedup_vs_cold`` recovery delta.
 
 Run with::
 
@@ -49,6 +53,7 @@ import json
 import math
 import subprocess
 import sys
+import tempfile
 import time
 from pathlib import Path
 from typing import Any, Callable, Dict, List
@@ -62,6 +67,7 @@ from repro.schedulers.base import create_scheduler  # noqa: E402
 from repro.service.async_server import AsyncScheduleServer  # noqa: E402
 from repro.service.cache import LRUResultCache  # noqa: E402
 from repro.service.dispatcher import ScheduleService  # noqa: E402
+from repro.service.persistence import ShardPersistence  # noqa: E402
 from repro.service.schema import canonicalize_request  # noqa: E402
 from repro.service.server import serve_lines  # noqa: E402
 from repro.service.sharding import ShardedClient  # noqa: E402
@@ -352,6 +358,56 @@ def bench_service_chaos_rps(runs: int, n_requests: int) -> Dict[str, Any]:
     }
 
 
+def bench_service_warm_restart(runs: int, n_requests: int) -> Dict[str, Any]:
+    """Cold vs. warm restart: the first full stream served after a restart.
+
+    A "previous incarnation" serves the stream once with durability on,
+    journaling every result.  The timed region is then restart recovery —
+    build a fresh cache and serve the whole stream again — in two
+    variants: **cold** (no persistence: every request re-simulates, the
+    pre-durability behaviour) and **warm** (journal replayed via
+    ``warm_load`` before serving: every request is a warm cache hit).
+    The headline stats time the warm variant, with the cold variant's
+    timings and the ``speedup_vs_cold`` ratio alongside — the crash
+    recovery delta the durability layer buys.
+    """
+    lines = synthetic_request_lines(n_requests)
+    state_dir = Path(tempfile.mkdtemp(prefix="repro-bench-warm-"))
+    seed_cache = LRUResultCache(
+        max_entries=4 * n_requests,
+        persistence=ShardPersistence(state_dir, journal_max_entries=4 * n_requests),
+    )
+    _serve(lines, seed_cache)  # the dead shard's lifetime: journal every result
+    seed_cache.close()
+
+    def cold_restart() -> None:
+        _serve(lines, LRUResultCache(max_entries=4 * n_requests))
+
+    def warm_restart() -> None:
+        cache = LRUResultCache(
+            max_entries=4 * n_requests,
+            persistence=ShardPersistence(
+                state_dir, journal_max_entries=4 * n_requests
+            ),
+        )
+        replayed = cache.warm_load()  # replay is part of recovery, so timed
+        _serve(lines, cache)
+        cache.close()
+        if replayed == 0 or cache.warm_hits == 0:
+            raise RuntimeError("warm restart served nothing from replayed state")
+
+    cold = _time(cold_restart, runs)
+    warm = _time(warm_restart, runs)
+    return {
+        **warm,
+        "cold_mean_s": cold["mean_s"],
+        "cold_min_s": cold["min_s"],
+        "speedup_vs_cold": cold["min_s"] / warm["min_s"],
+        "runs": runs,
+        "params": {"n_requests": n_requests, "recovery": "journal-replay"},
+    }
+
+
 def run_suite(runs: int, n_requests: int) -> Dict[str, Dict[str, Any]]:
     """Execute every benchmark; returns the ``BENCH_service.json`` payload."""
     return {
@@ -363,6 +419,7 @@ def run_suite(runs: int, n_requests: int) -> Dict[str, Dict[str, Any]]:
         "service_cached_stream": bench_service_cached_stream(runs, n_requests),
         "service_persistent_rps": bench_service_persistent_rps(runs, n_requests),
         "service_chaos_rps": bench_service_chaos_rps(runs, n_requests),
+        "service_warm_restart": bench_service_warm_restart(runs, n_requests),
     }
 
 
