@@ -21,6 +21,10 @@ regenerates the paper's tables and figures from a terminal:
 * ``request`` — build one schedule request from flags and either execute
   it through the service pipeline (one response line on stdout) or
   ``--emit`` it as a JSONL line to feed into ``repro serve``.
+* ``top`` — live per-shard telemetry: poll every shard's
+  ``{"type": "metrics"}`` endpoint and render a table of RPS, latency
+  quantiles, cache hit rate, inflight requests, restarts and breaker
+  states, refreshed every ``--interval`` seconds.
 * ``demo`` — a single small run with an ASCII Gantt chart, useful as a
   smoke test of the engine and of one scheduler.
 
@@ -372,6 +376,43 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     serve.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "attach per-request span timings to responses that opt in "
+            'with "trace": true (see docs/OBSERVABILITY.md)'
+        ),
+    )
+    serve.add_argument(
+        "--metrics-log",
+        default=None,
+        metavar="DIR",
+        help=(
+            "append structured JSONL telemetry events (slow requests, "
+            "profile dumps) to per-shard files under this directory"
+        ),
+    )
+    serve.add_argument(
+        "--slow-ms",
+        type=_positive_float,
+        default=None,
+        metavar="MS",
+        help=(
+            "requests slower than this land in the slow-request log "
+            "(counter service.slow_requests; event needs --metrics-log)"
+        ),
+    )
+    serve.add_argument(
+        "--profile-every",
+        type=_nonnegative_int,
+        default=0,
+        metavar="N",
+        help=(
+            "cProfile every Nth dispatch batch and dump the .prof under "
+            "--metrics-log or --state-dir (0 disables profiling)"
+        ),
+    )
+    serve.add_argument(
         "--quiet",
         action="store_true",
         help="suppress the statistics summary on stderr",
@@ -465,6 +506,22 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     request.add_argument(
+        "--metrics",
+        action="store_true",
+        help=(
+            "with --connect: query every shard's metrics request type "
+            "(full telemetry registry; one JSON line per shard)"
+        ),
+    )
+    request.add_argument(
+        "--trace",
+        action="store_true",
+        help=(
+            "request span timings in the response (needs a server started "
+            "with --trace; mints a trace id when --id is not given)"
+        ),
+    )
+    request.add_argument(
         "--timeout",
         type=_positive_float,
         default=None,
@@ -473,6 +530,57 @@ def build_parser() -> argparse.ArgumentParser:
             "with --connect: per-request deadline; a stalled shard resolves "
             "to a typed shard-timeout response instead of hanging"
         ),
+    )
+
+    top = subparsers.add_parser(
+        "top",
+        help="live per-shard telemetry table for a running sharded server",
+        description=(
+            "Poll every shard's metrics endpoint and render a per-shard "
+            "table: requests per second, server-side p50/p99 latency, "
+            "cache hit rate, inflight requests, restart count, warm hits "
+            "and the client's circuit-breaker state.  Refreshes every "
+            "--interval seconds until interrupted (or for --iterations "
+            "polls); shards that do not answer show as unavailable."
+        ),
+    )
+    top.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="base address of the sharded server (shard i listens on PORT+i)",
+    )
+    top.add_argument(
+        "--shards",
+        type=_positive_int,
+        default=1,
+        help="shard count of the server topology",
+    )
+    top.add_argument(
+        "--interval",
+        type=_positive_float,
+        default=2.0,
+        metavar="SECONDS",
+        help="seconds between polls",
+    )
+    top.add_argument(
+        "--iterations",
+        type=_nonnegative_int,
+        default=0,
+        metavar="N",
+        help="stop after N polls (0 = run until interrupted)",
+    )
+    top.add_argument(
+        "--timeout",
+        type=_positive_float,
+        default=None,
+        metavar="SECONDS",
+        help="per-poll deadline; a stalled shard shows as unavailable",
+    )
+    top.add_argument(
+        "--no-clear",
+        action="store_true",
+        help="append tables instead of clearing the screen between polls",
     )
 
     demo = subparsers.add_parser("demo", help="run one scheduler and print a Gantt chart")
@@ -665,19 +773,54 @@ def _build_persistence(args: argparse.Namespace):
     )
 
 
+def _build_observability(args: argparse.Namespace) -> "Observability":
+    """The shard's telemetry config per the serve flags.
+
+    The event log (``--metrics-log``) gets one ``events-shard<NN>.jsonl``
+    file per shard so concurrent shards never interleave writes; sampled
+    profiles (``--profile-every``) dump under a ``profiles/`` subdirectory
+    of ``--metrics-log`` (or ``--state-dir`` as a fallback).
+    """
+    import os
+
+    from .service.observability import EventLog, Observability
+
+    shard_index = int(os.environ.get("REPRO_SHARD_INDEX", "0"))
+    event_log = None
+    if args.metrics_log is not None:
+        event_log = EventLog(
+            os.path.join(args.metrics_log, f"events-shard{shard_index:02d}.jsonl")
+        )
+    profile_dir = None
+    if args.profile_every:
+        base = args.metrics_log if args.metrics_log is not None else args.state_dir
+        profile_dir = os.path.join(base, "profiles")
+    return Observability(
+        trace=args.trace,
+        slow_ms=args.slow_ms,
+        event_log=event_log,
+        profile_every=args.profile_every,
+        profile_dir=profile_dir,
+        shard_index=shard_index,
+    )
+
+
 def _build_service(args: argparse.Namespace) -> ScheduleService:
     """One dispatcher configured from the ``repro serve`` flags.
 
     With ``--state-dir``, the cache is warm-loaded from the shard's
     journal+snapshot *here* — before the caller starts accepting
     requests — so a restarted shard's first connection already sees the
-    replayed results.
+    replayed results.  The cache shares the shard's metric registry so
+    ``cache.*`` counters land in the ``{"type": "metrics"}`` scrape.
     """
+    obs = _build_observability(args)
     cache = (
         LRUResultCache(
             max_entries=args.cache_size,
             ttl=args.ttl,
             persistence=_build_persistence(args),
+            registry=obs.registry,
         )
         if args.cache_size
         else None
@@ -698,6 +841,7 @@ def _build_service(args: argparse.Namespace) -> ScheduleService:
         cache=cache,
         max_cost=args.max_cost,
         engine_backend=args.engine_backend,
+        observability=obs,
     )
 
 
@@ -722,6 +866,14 @@ def _serve_flag_argv(args: argparse.Namespace) -> List[str]:
         ]
     if args.no_persist:
         argv.append("--no-persist")
+    if args.trace:
+        argv.append("--trace")
+    if args.metrics_log is not None:
+        argv += ["--metrics-log", str(args.metrics_log)]
+    if args.slow_ms is not None:
+        argv += ["--slow-ms", str(args.slow_ms)]
+    if args.profile_every:
+        argv += ["--profile-every", str(args.profile_every)]
     if args.quiet:
         argv.append("--quiet")
     return argv
@@ -789,6 +941,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(
             f"error: --max-queue ({args.max_queue}) must be >= "
             f"--batch-size ({args.batch_size})",
+            file=sys.stderr,
+        )
+        return 2
+    if args.profile_every and args.metrics_log is None and args.state_dir is None:
+        print(
+            "error: --profile-every needs --metrics-log or --state-dir "
+            "(somewhere to dump the .prof files)",
             file=sys.stderr,
         )
         return 2
@@ -863,11 +1022,13 @@ def _request_payload(args: argparse.Namespace) -> dict:
     }
     if args.id is not None:
         payload["id"] = args.id
+    if args.trace:
+        payload["trace"] = True
     return payload
 
 
 def _cmd_request_connected(args: argparse.Namespace) -> int:
-    """Send one request (or a stats query) to a persistent sharded server."""
+    """Send one request (or a stats/metrics query) to a sharded server."""
     import asyncio
     import json
 
@@ -884,6 +1045,9 @@ def _cmd_request_connected(args: argparse.Namespace) -> int:
             if args.stats:
                 payloads = await client.stats(args.id)
                 return [canonical_json(payload) for payload in payloads]
+            if args.metrics:
+                payloads = await client.metrics(args.id)
+                return [canonical_json(payload) for payload in payloads]
             line = canonical_json(_request_payload(args))
             return [await (await client.submit(line))]
 
@@ -894,7 +1058,7 @@ def _cmd_request_connected(args: argparse.Namespace) -> int:
         return 2
     for line in lines:
         print(line)
-    if args.stats:
+    if args.stats or args.metrics:
         return 0
     response = json.loads(lines[0])
     if response["status"] != "ok":
@@ -904,8 +1068,11 @@ def _cmd_request_connected(args: argparse.Namespace) -> int:
 
 
 def _cmd_request(args: argparse.Namespace) -> int:
-    if args.stats and args.connect is None:
-        print("error: --stats requires --connect", file=sys.stderr)
+    if (args.stats or args.metrics) and args.connect is None:
+        print("error: --stats/--metrics requires --connect", file=sys.stderr)
+        return 2
+    if args.stats and args.metrics:
+        print("error: --stats and --metrics are mutually exclusive", file=sys.stderr)
         return 2
     if args.connect is not None:
         if args.emit:
@@ -923,12 +1090,117 @@ def _cmd_request(args: argparse.Namespace) -> int:
             return 2
         print(canonical_json(payload))
         return 0
-    with ScheduleService(workers=1, batch_size=1, max_queue=1) as service:
+    from .service.observability import Observability
+
+    with ScheduleService(
+        workers=1,
+        batch_size=1,
+        max_queue=1,
+        observability=Observability(trace=args.trace),
+    ) as service:
         service.submit(payload)
         (response,) = service.drain()
     print(response_line(response))
     if response["status"] != "ok":
         print(f"error: {response['error']['message']}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _render_top_table(
+    payloads: List[dict],
+    previous: dict,
+    now: float,
+) -> List[str]:
+    """Format one ``repro top`` refresh as table lines.
+
+    ``previous`` maps shard index to ``(responded, poll_time)`` from the
+    last refresh and is updated in place; RPS is the responded delta over
+    the poll interval (first refresh falls back to the lifetime average
+    ``responded / uptime``).  Unreachable shards render a placeholder row
+    that still shows the client's breaker state for that shard.
+    """
+    header = (
+        f"{'shard':>5} {'rps':>8} {'p50ms':>8} {'p99ms':>8} {'hit%':>6} "
+        f"{'inflight':>8} {'restarts':>8} {'warm':>6} {'breaker':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for index, payload in enumerate(payloads):
+        metrics = payload.get("metrics")
+        if not isinstance(metrics, dict):
+            breaker = payload.get("client", {}).get("breaker_state", "?")
+            lines.append(
+                f"{index:>5} {'-':>8} {'-':>8} {'-':>8} {'-':>6} "
+                f"{'-':>8} {'-':>8} {'-':>6} {breaker:>8}  (unavailable)"
+            )
+            previous.pop(index, None)
+            continue
+        counters = metrics["counters"]
+        gauges = metrics["gauges"]
+        request_ms = metrics["histograms"]["service.request_ms"]
+        responded = counters["service.responded"]
+        if index in previous:
+            last_responded, last_time = previous[index]
+            elapsed = max(now - last_time, 1e-9)
+            rps = max(responded - last_responded, 0) / elapsed
+        else:
+            rps = responded / max(metrics.get("uptime_s", 0.0), 1e-9)
+        previous[index] = (responded, now)
+        hits = counters["cache.hits"]
+        misses = counters["cache.misses"]
+        lookups = hits + misses
+        hit_pct = f"{100.0 * hits / lookups:5.1f}" if lookups else "    -"
+        breaker = metrics.get("client", {}).get("breaker_state", "?")
+        lines.append(
+            f"{index:>5} {rps:>8.1f} {request_ms['p50']:>8.2f} "
+            f"{request_ms['p99']:>8.2f} {hit_pct:>6} "
+            f"{gauges['server.inflight']:>8.0f} "
+            f"{gauges['server.restarts']:>8.0f} "
+            f"{counters['cache.warm_hits']:>6} {breaker:>8}"
+        )
+    return lines
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Poll every shard's metrics endpoint and render a live table."""
+    import asyncio
+    import time
+
+    try:
+        host, port = parse_address(args.connect)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    async def watch() -> None:
+        async with ShardedClient.from_base(
+            host, port, args.shards, request_timeout=args.timeout
+        ) as client:
+            previous: dict = {}
+            iteration = 0
+            while True:
+                payloads = await client.metrics()
+                now = time.monotonic()
+                iteration += 1
+                if not args.no_clear:
+                    # ANSI clear-screen + home, like top/watch.
+                    print("\x1b[2J\x1b[H", end="")
+                print(
+                    f"repro top — {args.shards} shard(s) @ {host}:{port} "
+                    f"(poll {iteration}, every {args.interval:g}s)"
+                )
+                print("\n".join(_render_top_table(payloads, previous, now)))
+                sys.stdout.flush()
+                if args.iterations and iteration >= args.iterations:
+                    return
+                await asyncio.sleep(args.interval)
+
+    try:
+        asyncio.run(watch())
+    except KeyboardInterrupt:
+        pass
+    except OSError as exc:
+        print(f"error: cannot reach {host}:{port}: {exc}", file=sys.stderr)
         return 2
     return 0
 
@@ -964,6 +1236,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "scenario": _cmd_scenario,
         "serve": _cmd_serve,
         "request": _cmd_request,
+        "top": _cmd_top,
         "demo": _cmd_demo,
     }
     return handlers[args.command](args)

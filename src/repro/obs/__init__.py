@@ -1,0 +1,32 @@
+"""Process-local observability core: metrics registry, histograms, traces.
+
+A thin, dependency-free toolkit shared by the serving stack
+(:mod:`repro.service.observability`) and the load/benchmark tooling under
+``tools/``:
+
+* :class:`~repro.obs.metrics.StreamingHistogram` — a deterministic
+  fixed-log-bucket streaming histogram: p50/p95/p99 without storing
+  samples, identical bucket boundaries in every interpreter (no
+  ``PYTHONHASHSEED`` or platform dependence), and associative merging so
+  per-shard histograms aggregate exactly;
+* :class:`~repro.obs.metrics.MetricsRegistry` — a thread-safe,
+  process-local registry of named counters, gauges and histograms with an
+  atomic JSON-able :meth:`~repro.obs.metrics.MetricsRegistry.snapshot`;
+* :class:`~repro.obs.trace.Trace` — a per-request trace context
+  accumulating named, non-overlapping spans (queue wait, simulate, …).
+
+Nothing in this package knows about the scheduling service; the metric
+*names* and the request/response wiring live in
+:mod:`repro.service.observability`.
+"""
+
+from .metrics import DEFAULT_GROWTH, MetricsRegistry, StreamingHistogram
+from .trace import Trace, mint_trace_id
+
+__all__ = [
+    "DEFAULT_GROWTH",
+    "MetricsRegistry",
+    "StreamingHistogram",
+    "Trace",
+    "mint_trace_id",
+]

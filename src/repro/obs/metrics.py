@@ -1,0 +1,312 @@
+"""Deterministic streaming histograms and a thread-safe metrics registry.
+
+The design constraints come from the serving stack:
+
+* **no stored samples** — a shard serving millions of requests must
+  answer p50/p95/p99 from O(buckets) state, not O(requests) samples;
+* **deterministic buckets** — bucket boundaries are powers of a fixed
+  decimal growth factor computed by *repeated IEEE multiplication/
+  division* (both exactly-rounded operations), never ``math.pow`` or
+  ``log`` (whose last-ulp behaviour varies across libm builds).  Two
+  interpreters — any platform, any ``PYTHONHASHSEED`` — observing the
+  same values produce byte-identical snapshots;
+* **associative merge** — merging per-shard histograms is bucket-wise
+  integer addition, so ``(a + b) + c == a + (b + c)`` exactly (the
+  hypothesis property in ``tests/test_obs_metrics.py``) and a fleet-wide
+  percentile is computable from shard snapshots;
+* **thread safety at the registry** — the registry serializes every
+  mutation and snapshot under one lock; histograms themselves stay
+  lock-free so they are cheap to use single-threaded (loadgen,
+  benchmarks).
+
+Quantiles are **nearest-rank over buckets**: the reported quantile is the
+upper boundary of the bucket containing the nearest-rank sample, clamped
+to the observed ``[min, max]``.  With the default growth of ``1.1`` the
+relative overestimate is below 10% — plenty for latency telemetry, and
+the same math on the client (loadgen) and the server (dispatcher) by
+construction.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = ["DEFAULT_GROWTH", "StreamingHistogram", "MetricsRegistry"]
+
+#: Default bucket growth factor: each bucket's upper boundary is 1.1x its
+#: lower one (~24 buckets per decade, <10% relative quantile error).
+DEFAULT_GROWTH = 1.1
+
+#: Bucket indices are clamped to ``[-_MAX_INDEX, _MAX_INDEX]``; at growth
+#: 1.1 that spans ~10**-26..10**26 — far beyond any latency or size.
+_MAX_INDEX = 640
+
+
+class _Boundaries:
+    """Deterministic bucket boundaries for one growth factor.
+
+    ``bound(i)`` is ``growth ** i`` computed by repeated multiplication
+    (``i > 0``) or division (``i < 0``) from ``1.0``.  IEEE 754 specifies
+    both operations exactly, so the table is identical on every platform
+    — unlike ``pow``/``exp``/``log``, which are only *faithfully* rounded
+    and may differ between libm builds.  Instances are shared per growth
+    value and append-only, so concurrent readers are safe.
+    """
+
+    _shared: Dict[float, "_Boundaries"] = {}
+    _shared_lock = threading.Lock()
+
+    def __init__(self, growth: float) -> None:
+        self.growth = growth
+        self._pos: List[float] = [1.0]  # _pos[i] == growth ** i
+        self._neg: List[float] = [1.0]  # _neg[i] == growth ** -i
+        self._log_growth = math.log(growth)  # hint only, corrected below
+
+    @classmethod
+    def shared(cls, growth: float) -> "_Boundaries":
+        """The process-wide boundary table for ``growth`` (create once)."""
+        table = cls._shared.get(growth)
+        if table is None:
+            with cls._shared_lock:
+                table = cls._shared.setdefault(growth, cls(growth))
+        return table
+
+    def bound(self, index: int) -> float:
+        """``growth ** index`` from the deterministic table."""
+        if index >= 0:
+            while len(self._pos) <= index:
+                self._pos.append(self._pos[-1] * self.growth)
+            return self._pos[index]
+        index = -index
+        while len(self._neg) <= index:
+            self._neg.append(self._neg[-1] / self.growth)
+        return self._neg[index]
+
+    def index_of(self, value: float) -> int:
+        """The bucket index whose ``[bound(i), bound(i+1))`` holds ``value``.
+
+        ``math.log`` provides a starting guess; the exact answer is
+        settled by comparing against the deterministic table, so a
+        last-ulp log discrepancy between platforms cannot flip a bucket.
+        """
+        guess = int(math.floor(math.log(value) / self._log_growth))
+        guess = max(-_MAX_INDEX, min(_MAX_INDEX, guess))
+        while guess > -_MAX_INDEX and self.bound(guess) > value:
+            guess -= 1
+        while guess < _MAX_INDEX and self.bound(guess + 1) <= value:
+            guess += 1
+        return guess
+
+
+class StreamingHistogram:
+    """Fixed-log-bucket streaming histogram with deterministic quantiles.
+
+    Values ``<= 0`` land in a dedicated *zero bucket* (reported as
+    ``0.0`` by quantiles) so instrumenting code never has to special-case
+    a measured duration of exactly zero.  Not thread-safe on its own —
+    wrap mutations in :class:`MetricsRegistry` for concurrent use.
+    """
+
+    __slots__ = ("growth", "count", "total", "min", "max", "zero_count", "buckets", "_bounds")
+
+    def __init__(self, growth: float = DEFAULT_GROWTH) -> None:
+        if growth <= 1.0:
+            raise ValueError(f"growth must be > 1, got {growth}")
+        self.growth = growth
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.zero_count = 0
+        #: bucket index -> observation count (sparse).
+        self.buckets: Dict[int, int] = {}
+        self._bounds = _Boundaries.shared(growth)
+
+    def observe(self, value: float) -> None:
+        """Record one sample."""
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        if value <= 0.0:
+            self.zero_count += 1
+            return
+        index = self._bounds.index_of(value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
+
+    def merge(self, other: "StreamingHistogram") -> "StreamingHistogram":
+        """Fold ``other`` into this histogram (same growth required)."""
+        if other.growth != self.growth:
+            raise ValueError(
+                f"cannot merge histograms with growths {self.growth} != {other.growth}"
+            )
+        self.count += other.count
+        self.total += other.total
+        self.zero_count += other.zero_count
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        for index, count in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + count
+        return self
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile over the buckets (``0 <= q <= 1``).
+
+        Returns the upper boundary of the bucket holding the nearest-rank
+        sample, clamped to the observed ``[min, max]``; ``0.0`` on an
+        empty histogram.  Deterministic given the observation multiset.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        if rank <= self.zero_count:
+            return max(0.0, self.min or 0.0)
+        remaining = rank - self.zero_count
+        for index in sorted(self.buckets):
+            remaining -= self.buckets[index]
+            if remaining <= 0:
+                upper = self._bounds.bound(index + 1)
+                if self.max is not None:
+                    upper = min(upper, self.max)
+                if self.min is not None:
+                    upper = max(upper, self.min)
+                return upper
+        return self.max if self.max is not None else 0.0  # pragma: no cover
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        """Record a batch of samples (loadgen convenience)."""
+        for value in values:
+            self.observe(value)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-able state: counts, sum, min/max, p50/p95/p99 and buckets.
+
+        Bucket keys are stringified indices (JSON objects key on
+        strings); two histograms fed the same values snapshot to equal
+        dicts on any platform/interpreter — the determinism test pins it.
+        """
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+            "zero": self.zero_count,
+            "growth": self.growth,
+            "buckets": {str(index): self.buckets[index] for index in sorted(self.buckets)},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"StreamingHistogram(count={self.count}, p50={self.quantile(0.5):.4g}, "
+            f"p99={self.quantile(0.99):.4g})"
+        )
+
+
+class MetricsRegistry:
+    """Thread-safe, process-local registry of counters, gauges, histograms.
+
+    All mutation and the :meth:`snapshot` run under one internal lock, so
+    a snapshot taken while executor threads dispatch concurrently is a
+    consistent point-in-time view — never a half-applied update (the
+    atomicity property ``tests/test_obs_metrics.py`` drives).
+
+    Metrics are created on first use; :meth:`declare` pre-creates them at
+    zero so a scrape taken before any traffic still lists the full metric
+    catalog (what the CI metrics-scrape step asserts against the docs).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, int] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, StreamingHistogram] = {}
+
+    # -- mutation -----------------------------------------------------------
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (created at 0 on first use)."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value``."""
+        with self._lock:
+            self._gauges[name] = value
+
+    def observe(self, name: str, value: float, growth: float = DEFAULT_GROWTH) -> None:
+        """Record ``value`` into histogram ``name`` (created on first use)."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            if histogram is None:
+                histogram = self._histograms[name] = StreamingHistogram(growth)
+            histogram.observe(value)
+
+    def declare(
+        self,
+        counters: Iterable[str] = (),
+        gauges: Iterable[str] = (),
+        histograms: Iterable[str] = (),
+    ) -> None:
+        """Pre-create metrics at zero so snapshots list them before traffic."""
+        with self._lock:
+            for name in counters:
+                self._counters.setdefault(name, 0)
+            for name in gauges:
+                self._gauges.setdefault(name, 0)
+            for name in histograms:
+                if name not in self._histograms:
+                    self._histograms[name] = StreamingHistogram()
+
+    # -- reads --------------------------------------------------------------
+    def counter(self, name: str) -> int:
+        """Current value of counter ``name`` (0 when never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def gauge(self, name: str) -> float:
+        """Current value of gauge ``name`` (0 when never set)."""
+        with self._lock:
+            return self._gauges.get(name, 0)
+
+    def histogram_quantile(self, name: str, q: float) -> float:
+        """Quantile ``q`` of histogram ``name`` (0.0 when absent/empty)."""
+        with self._lock:
+            histogram = self._histograms.get(name)
+            return histogram.quantile(q) if histogram is not None else 0.0
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Atomic point-in-time view of every metric, JSON-able.
+
+        ``{"counters": {...}, "gauges": {...}, "histograms": {...}}`` with
+        every section sorted by name, so equal registries snapshot to
+        equal dicts.
+        """
+        with self._lock:
+            return {
+                "counters": {name: self._counters[name] for name in sorted(self._counters)},
+                "gauges": {name: self._gauges[name] for name in sorted(self._gauges)},
+                "histograms": {
+                    name: self._histograms[name].snapshot()
+                    for name in sorted(self._histograms)
+                },
+            }
+
+    def names(self) -> Tuple[Tuple[str, ...], Tuple[str, ...], Tuple[str, ...]]:
+        """The registered ``(counter, gauge, histogram)`` name tuples."""
+        with self._lock:
+            return (
+                tuple(sorted(self._counters)),
+                tuple(sorted(self._gauges)),
+                tuple(sorted(self._histograms)),
+            )

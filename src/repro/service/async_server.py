@@ -60,7 +60,13 @@ from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, TextIO, Tuple
 
 from .dispatcher import ScheduleService
-from .schema import SCHEMA_VERSION, is_stats_request, stats_request_id
+from .observability import TELEMETRY_SCHEMA_VERSION
+from .schema import (
+    SCHEMA_VERSION,
+    control_request_id,
+    is_control_request,
+    is_metrics_request,
+)
 from .server import response_line
 
 __all__ = [
@@ -193,6 +199,9 @@ class AsyncScheduleServer:
         self.drain_timeout = drain_timeout
         self.per_connection_sndbuf = per_connection_sndbuf
         self.stats = ServerStats()
+        # Server-loop spans land in the service's registry so one metrics
+        # scrape covers transport and dispatcher alike.
+        self._registry = service.obs.registry
         self._executor = ThreadPoolExecutor(
             max_workers=executor_threads, thread_name_prefix="repro-serve"
         )
@@ -256,11 +265,12 @@ class AsyncScheduleServer:
         """Async-context exit: graceful drain and shutdown."""
         await self.close()
 
-    # -- stats request type -------------------------------------------------
+    # -- control request types ----------------------------------------------
     def stats_payload(self) -> Dict[str, Any]:
         """The shard's health payload (the body of a stats response)."""
         snapshot = self.service.snapshot()
         return {
+            "schema_version": TELEMETRY_SCHEMA_VERSION,
             "uptime_s": round(self.uptime, 6),
             "shard": {
                 "index": self.shard_index,
@@ -282,6 +292,71 @@ class AsyncScheduleServer:
             "type": "stats",
             "id": request_id,
             "stats": self.stats_payload(),
+        }
+
+    def metrics_payload(self) -> Dict[str, Any]:
+        """The shard's observability payload (body of a metrics response).
+
+        One flat metric namespace: the registry snapshot (stage/span
+        histograms, shed counters), the cache's ``cache.*`` counters, and
+        the ``service.*`` / ``server.*`` values derived from the stats
+        dataclasses — see :data:`repro.service.observability.METRIC_CATALOG`
+        for the full name list.
+        """
+        snapshot = self.service.snapshot()
+        service = snapshot["service"]
+        server = self.stats.as_dict()
+        derived_counters = {
+            f"service.{name}": service[name]
+            for name in (
+                "received",
+                "responded",
+                "ok",
+                "invalid",
+                "rejected",
+                "failed",
+                "simulations",
+                "coalesced",
+            )
+        }
+        derived_counters.update(
+            {
+                f"server.{name}": server[name]
+                for name in (
+                    "connections_total",
+                    "requests_received",
+                    "responses_sent",
+                    "disconnects",
+                )
+            }
+        )
+        derived_gauges = {
+            "server.connections_active": server["connections_active"],
+            "server.inflight": server["inflight"],
+            "server.restarts": self.shard_restarts,
+            "service.pending": snapshot["pending"],
+        }
+        cache = self.service.cache
+        return self.service.obs.metrics_payload(
+            shard={
+                "index": self.shard_index,
+                "count": self.shard_count,
+                "restarts": self.shard_restarts,
+            },
+            uptime_s=round(self.uptime, 6),
+            cache_counters=cache.counters() if cache is not None else {},
+            derived_counters=derived_counters,
+            derived_gauges=derived_gauges,
+        )
+
+    def metrics_response(self, request_id: Optional[str]) -> Dict[str, Any]:
+        """One full metrics response (canonical-JSON encodable)."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "status": "ok",
+            "type": "metrics",
+            "id": request_id,
+            "metrics": self.metrics_payload(),
         }
 
     # -- connection pipeline ------------------------------------------------
@@ -342,9 +417,15 @@ class AsyncScheduleServer:
         """Socket lines → bounded inbound queue; ``None`` sentinel on EOF."""
         try:
             while not self._draining:
+                read_start = time.perf_counter()
                 line = await reader.readline()
                 if not line:
                     break
+                # Includes the wait for the client's next line — the read
+                # span is "time to obtain one request", by design.
+                self._registry.observe(
+                    "server.read_ms", (time.perf_counter() - read_start) * 1000.0
+                )
                 text = line.decode("utf-8", errors="replace")
                 if not text.strip():
                     continue
@@ -395,18 +476,21 @@ class AsyncScheduleServer:
     async def _resolve_chunk(
         self, loop: asyncio.AbstractEventLoop, chunk: List[str]
     ) -> List[str]:
-        """Resolve one chunk to response lines, stats requests in position."""
+        """Resolve one chunk to response lines, control requests in position."""
         out_lines: List[str] = []
         pending: List[str] = []
         for text in chunk:
             payload = self._try_parse(text)
-            if is_stats_request(payload):
+            if is_control_request(payload):
                 if pending:
                     out_lines.extend(await self._run_schedule_chunk(loop, pending))
                     pending = []
-                out_lines.append(
-                    response_line(self.stats_response(stats_request_id(payload)))
-                )
+                request_id = control_request_id(payload)
+                if is_metrics_request(payload):
+                    response = self.metrics_response(request_id)
+                else:
+                    response = self.stats_response(request_id)
+                out_lines.append(response_line(response))
             else:
                 pending.append(text)
         if pending:
@@ -418,12 +502,16 @@ class AsyncScheduleServer:
     ) -> List[str]:
         """Run one dispatcher chunk in the executor; returns response lines."""
         self.stats.inflight += 1
+        dispatch_start = time.perf_counter()
         try:
             return await loop.run_in_executor(
                 self._executor, self._serve_chunk_sync, list(lines)
             )
         finally:
             self.stats.inflight -= 1
+            self._registry.observe(
+                "server.dispatch_ms", (time.perf_counter() - dispatch_start) * 1000.0
+            )
 
     def _serve_chunk_sync(self, lines: List[str]) -> List[str]:
         """Executor-thread body: atomic submit+drain, canonical encoding."""
@@ -455,10 +543,14 @@ class AsyncScheduleServer:
                 break
             if not conn.alive:
                 continue
+            write_start = time.perf_counter()
             try:
                 writer.write(line.encode("utf-8") + b"\n")
                 await writer.drain()
                 self.stats.responses_sent += 1
+                self._registry.observe(
+                    "server.write_ms", (time.perf_counter() - write_start) * 1000.0
+                )
             except (ConnectionError, RuntimeError):
                 conn.alive = False
 

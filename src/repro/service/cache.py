@@ -35,15 +35,33 @@ from collections import OrderedDict
 from typing import Any, Callable, Dict, Optional, Tuple, TYPE_CHECKING
 
 from ..exceptions import ServiceError
+from ..obs import MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .persistence import ShardPersistence
 
 __all__ = ["LRUResultCache"]
 
+#: Registry counter names the cache owns (the ``cache.*`` section of the
+#: metric catalog in :mod:`repro.service.observability`).
+_COUNTERS = (
+    "cache.hits",
+    "cache.misses",
+    "cache.evictions",
+    "cache.expirations",
+    "cache.warm_hits",
+)
+
 
 class LRUResultCache:
-    """Size- and age-bounded mapping from request keys to cached results."""
+    """Size- and age-bounded mapping from request keys to cached results.
+
+    Counters (hits/misses/evictions/expirations/warm hits) live in a
+    :class:`~repro.obs.MetricsRegistry` — pass the service's registry so
+    they appear in the ``{"type": "metrics"}`` scrape, or let the cache
+    create a private one.  The classic attributes (``cache.hits`` …) and
+    the :meth:`stats` dict remain as read-only views over the registry.
+    """
 
     def __init__(
         self,
@@ -51,6 +69,7 @@ class LRUResultCache:
         ttl: Optional[float] = None,
         clock: Callable[[], float] = time.monotonic,
         persistence: "Optional[ShardPersistence]" = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if max_entries <= 0:
             raise ServiceError(f"max_entries must be positive, got {max_entries}")
@@ -60,34 +79,60 @@ class LRUResultCache:
         self.ttl = ttl
         self._clock = clock
         self.persistence = persistence
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.registry.declare(counters=_COUNTERS)
         #: key -> (stored_at, value); insertion/refresh order = LRU order.
         self._entries: "OrderedDict[str, Tuple[float, Any]]" = OrderedDict()
         #: Keys inserted by :meth:`warm_load` and not yet recomputed —
         #: a :meth:`get` hit on one of these counts as a warm hit.
         self._warm_keys: set = set()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.expirations = 0
-        self.warm_hits = 0
+
+    @property
+    def hits(self) -> int:
+        """Number of :meth:`get` hits (view over ``cache.hits``)."""
+        return self.registry.counter("cache.hits")
+
+    @property
+    def misses(self) -> int:
+        """Number of :meth:`get` misses, expiries included."""
+        return self.registry.counter("cache.misses")
+
+    @property
+    def evictions(self) -> int:
+        """Number of LRU evictions forced by a full cache."""
+        return self.registry.counter("cache.evictions")
+
+    @property
+    def expirations(self) -> int:
+        """Number of entries dropped on access because their TTL passed."""
+        return self.registry.counter("cache.expirations")
+
+    @property
+    def warm_hits(self) -> int:
+        """Hits on entries replayed by :meth:`warm_load`."""
+        return self.registry.counter("cache.warm_hits")
+
+    def counters(self) -> Dict[str, int]:
+        """The ``cache.*`` registry counters as a plain dict."""
+        return {name: self.registry.counter(name) for name in _COUNTERS}
 
     def get(self, key: str) -> Optional[Any]:
         """Return the cached value for ``key``, or ``None`` on miss/expiry."""
         entry = self._entries.get(key)
         if entry is None:
-            self.misses += 1
+            self.registry.inc("cache.misses")
             return None
         stored_at, value = entry
         if self.ttl is not None and self._clock() - stored_at > self.ttl:
             del self._entries[key]
             self._warm_keys.discard(key)
-            self.expirations += 1
-            self.misses += 1
+            self.registry.inc("cache.expirations")
+            self.registry.inc("cache.misses")
             return None
         self._entries.move_to_end(key)
-        self.hits += 1
+        self.registry.inc("cache.hits")
         if key in self._warm_keys:
-            self.warm_hits += 1
+            self.registry.inc("cache.warm_hits")
         return value
 
     def put(self, key: str, value: Any) -> None:
@@ -111,7 +156,7 @@ class LRUResultCache:
         elif len(self._entries) >= self.max_entries:
             evicted, _ = self._entries.popitem(last=False)
             self._warm_keys.discard(evicted)
-            self.evictions += 1
+            self.registry.inc("cache.evictions")
         if warm:
             self._warm_keys.add(key)
         else:

@@ -43,7 +43,8 @@ import json
 import threading
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
+from time import perf_counter
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from ..exceptions import (
     RequestValidationError,
@@ -51,8 +52,10 @@ from ..exceptions import (
     ServiceOverloadedError,
 )
 from ..core.kernel import DEFAULT_BACKEND, available_backends
+from ..obs import Trace, mint_trace_id
 from .cache import LRUResultCache
 from .executor import execute_batch, execute_config, execute_request
+from .observability import Observability
 from .schema import SCHEMA_VERSION, ScheduleRequest, canonicalize_request
 
 __all__ = ["ServiceStats", "ScheduleService"]
@@ -108,6 +111,10 @@ class _Entry:
 
     request: Optional[ScheduleRequest] = None
     response: Optional[Dict[str, Any]] = None
+    #: ``perf_counter`` at submission — the queue-wait span's start.
+    submitted_at: float = 0.0
+    #: ``(start, end)`` of this entry's cache lookup, set by the pump.
+    cache_window: Optional[Tuple[float, float]] = None
 
 
 def _error_body(kind: str, message: str) -> Dict[str, Any]:
@@ -145,6 +152,13 @@ class ScheduleService:
         inline; the process pool is bypassed because the batch *is* the
         parallelism.  Responses are identical either way (backend parity
         contract).
+    observability:
+        Optional :class:`~repro.service.observability.Observability`
+        context.  The dispatcher always records its stage histograms and
+        shed counters into it; per-request traces (attached under the
+        opt-in ``"trace"`` response field) and the slow-request log are
+        produced only when the context enables them.  When omitted a
+        default all-quiet context is created so call sites never branch.
     """
 
     def __init__(
@@ -155,6 +169,7 @@ class ScheduleService:
         cache: Optional[LRUResultCache] = None,
         max_cost: Optional[int] = None,
         engine_backend: str = DEFAULT_BACKEND,
+        observability: Optional[Observability] = None,
     ) -> None:
         if workers < 0:
             raise ServiceError(f"workers must be >= 0, got {workers}")
@@ -178,6 +193,8 @@ class ScheduleService:
         self.cache = cache
         self.max_cost = max_cost
         self.stats = ServiceStats()
+        self.obs = observability if observability is not None else Observability()
+        self._batch_index = 0
         self._entries: List[_Entry] = []
         self._pool: Optional[ProcessPoolExecutor] = None
         # Guards queue/cache/pool/statistics state.  Re-entrant because
@@ -239,16 +256,18 @@ class ScheduleService:
                 )
                 return
 
-            self._entries.append(_Entry(request=request))
+            self._entries.append(_Entry(request=request, submitted_at=perf_counter()))
 
     def _check_admission(self, request: ScheduleRequest) -> None:
         """Raise :class:`~repro.exceptions.ServiceOverloadedError` on shed."""
         if self.pending >= self.max_queue:
+            self.obs.registry.inc("service.shed_queue_full")
             raise ServiceOverloadedError(
                 f"queue full ({self.pending}/{self.max_queue} requests "
                 "pending); retry later"
             )
         if self.max_cost is not None and request.cost > self.max_cost:
+            self.obs.registry.inc("service.shed_cost")
             raise ServiceOverloadedError(
                 f"request cost {request.cost} (tasks x workers) exceeds the "
                 f"admission budget {self.max_cost}"
@@ -290,12 +309,15 @@ class ScheduleService:
 
             # 1. cache pass + coalescing groups (first occurrence is primary)
             groups: "Dict[str, List[_Entry]]" = {}
+            hit_count = 0
             for entry in batch:
                 if entry.response is not None:
                     continue
                 request = entry.request
                 assert request is not None
+                lookup_start = perf_counter()
                 cached = self.cache.get(request.key) if self.cache is not None else None
+                entry.cache_window = (lookup_start, perf_counter())
                 if cached is not None:
                     self.stats.cache_hits += 1
                     # Fresh copy per response: a caller mutating its response
@@ -303,18 +325,33 @@ class ScheduleService:
                     entry.response = self._response(
                         "ok", request.request_id, key=request.key, metrics=dict(cached)
                     )
-                    self.stats.ok += 1
+                    # The ``ok`` credit is deferred to the fan-out section so
+                    # it lands under the same lock hold as ``responded`` —
+                    # snapshots must never see the outcome sum torn.
+                    hit_count += 1
+                    self._finalize_entry(entry, sim_window=None)
                 else:
                     self.stats.cache_misses += 1
                     groups.setdefault(request.key, []).append(entry)
             primaries = {k: v[0].request for k, v in groups.items()}
+            batch_index = self._batch_index
+            self._batch_index += 1
+
+        registry = self.obs.registry
+        registry.inc("service.batches")
+        registry.observe("service.batch_size", len(batch))
 
         # 2. one simulation per unique canonical key (lock released: the
         #    compute stage is the slow part and is safe to overlap)
-        results = self._run_unique(primaries)
+        sim_start = perf_counter()
+        results = self.obs.profiled_call(batch_index, self._run_unique, primaries)
+        sim_end = perf_counter()
+        if primaries:
+            registry.observe("service.simulate_ms", (sim_end - sim_start) * 1000.0)
 
         # 3. fan results back out to every coalesced duplicate
         with self._lock:
+            self.stats.ok += hit_count
             for key, entries in groups.items():
                 result = results[key]
                 self.stats.coalesced += len(entries) - 1
@@ -328,6 +365,7 @@ class ScheduleService:
                             error=_error_body("execution-error", str(result)),
                         )
                         self.stats.failed += 1
+                        self._finalize_entry(entry, sim_window=(sim_start, sim_end))
                 else:
                     if self.cache is not None:
                         self.cache.put(key, dict(result))
@@ -337,6 +375,7 @@ class ScheduleService:
                             "ok", entry.request.request_id, key=key, metrics=dict(result)
                         )
                         self.stats.ok += 1
+                        self._finalize_entry(entry, sim_window=(sim_start, sim_end))
 
             responses = []
             for entry in batch:
@@ -344,6 +383,58 @@ class ScheduleService:
                 responses.append(entry.response)
             self.stats.responded += len(responses)
         return responses
+
+    def _finalize_entry(
+        self, entry: _Entry, *, sim_window: Optional[Tuple[float, float]]
+    ) -> None:
+        """Record one resolved entry's stage timings; attach its trace.
+
+        Spans are cut from consecutive clock readings of this entry's path
+        through the pump — submission, cache lookup start/end, the batch's
+        simulate window, now — so they never overlap and sum to the
+        request's full service-side residence time.  Histograms are always
+        recorded; the response-attached trace additionally requires both
+        the service ``--trace`` switch and the request's ``"trace": true``
+        opt-in (responses stay byte-identical for everyone else).  A
+        response slower than the configured threshold is counted and
+        appended to the slow-request event log.
+        """
+        request = entry.request
+        response = entry.response
+        assert request is not None and response is not None
+        assert entry.cache_window is not None
+        done = perf_counter()
+        submitted = entry.submitted_at or entry.cache_window[0]
+        lookup_start, lookup_end = entry.cache_window
+        registry = self.obs.registry
+        registry.observe("service.queue_wait_ms", (lookup_start - submitted) * 1000.0)
+        registry.observe("service.cache_lookup_ms", (lookup_end - lookup_start) * 1000.0)
+        if sim_window is not None:
+            registry.observe(
+                "service.batch_assembly_ms", (sim_window[0] - lookup_end) * 1000.0
+            )
+            registry.observe("service.serialize_ms", (done - sim_window[1]) * 1000.0)
+        else:
+            registry.observe("service.serialize_ms", (done - lookup_end) * 1000.0)
+        duration_ms = (done - submitted) * 1000.0
+        registry.observe("service.request_ms", duration_ms)
+
+        trace_dict: Optional[Dict[str, Any]] = None
+        if self.obs.trace_enabled and request.trace:
+            trace = Trace(request.request_id or mint_trace_id())
+            trace.add("queue_wait", submitted, lookup_start)
+            trace.add("cache_lookup", lookup_start, lookup_end)
+            if sim_window is not None:
+                trace.add("batch_assembly", lookup_end, sim_window[0])
+                trace.add("simulate", sim_window[0], sim_window[1])
+                trace.add("serialize", sim_window[1], done)
+            else:
+                trace.add("serialize", lookup_end, done)
+            trace_dict = trace.as_dict()
+            response["trace"] = trace_dict
+
+        if self.obs.slow_ms is not None and duration_ms > self.obs.slow_ms:
+            self.obs.note_slow_request(request.request_id, duration_ms, trace_dict)
 
     def drain(self) -> List[Dict[str, Any]]:
         """Pump until the queue is empty; all responses in order."""

@@ -45,12 +45,17 @@ __all__ = [
     "SCHEMA_VERSION",
     "RELEASE_PROCESSES",
     "STATS_REQUEST_TYPE",
+    "METRICS_REQUEST_TYPE",
     "ScheduleRequest",
     "canonicalize_request",
     "build_tasks",
     "is_stats_request",
     "stats_request",
     "stats_request_id",
+    "is_metrics_request",
+    "metrics_request",
+    "is_control_request",
+    "control_request_id",
 ]
 
 #: Current (and only) request schema version.  Bump on any change to the
@@ -81,9 +86,19 @@ RELEASE_PROCESSES: Dict[str, Dict[str, Tuple[str, Any, str]]] = {
 #: no server state to report and treats them as invalid schedule requests.
 STATS_REQUEST_TYPE = "stats"
 
+#: ``{"type": "metrics"}`` marks the second control-request kind: it asks a
+#: shard for its full observability payload — the metric registry snapshot
+#: (counters, gauges, streaming-histogram quantiles) assembled by
+#: :meth:`repro.service.observability.Observability.metrics_payload`.  Like
+#: stats requests it is answered by the transport in stream position and
+#: never becomes a :class:`ScheduleRequest`.
+METRICS_REQUEST_TYPE = "metrics"
+
 #: Top-level request fields that are *transport metadata*: echoed in the
 #: response, excluded from the canonical configuration and the cache key.
-_METADATA_FIELDS = ("id", "arrival")
+#: ``trace`` opts one request into span collection — metadata by design, so
+#: asking for a trace never perturbs caching, coalescing, or shard routing.
+_METADATA_FIELDS = ("id", "arrival", "trace")
 
 _KNOWN_FIELDS = frozenset(
     ("schema_version", "platform", "tasks", "scheduler", "seed") + _METADATA_FIELDS
@@ -202,11 +217,16 @@ class ScheduleRequest:
     arrival:
         Optional client-side arrival timestamp (load generators attach it
         for latency bookkeeping).  Not part of :attr:`config`.
+    trace:
+        True when the client asked for span timings on this request's
+        response (``"trace": true``).  Honoured only when the serving
+        process runs with tracing enabled.  Not part of :attr:`config`.
     """
 
     config: Mapping[str, Any]
     request_id: Optional[str] = None
     arrival: Optional[float] = None
+    trace: bool = False
     _key: str = field(default="", repr=False, compare=False)
 
     def __post_init__(self) -> None:
@@ -288,6 +308,9 @@ def canonicalize_request(raw: Any) -> ScheduleRequest:
     if arrival is not None:
         arrival = _as_float(arrival, "'arrival'")
         _check(arrival, "non-negative", "'arrival'")
+    trace = raw.get("trace", False)
+    if not isinstance(trace, bool):
+        raise _fail(f"'trace' must be a boolean, got {type(trace).__name__}")
 
     if "platform" not in raw:
         raise _fail("request is missing required field 'platform'")
@@ -316,7 +339,9 @@ def canonicalize_request(raw: Any) -> ScheduleRequest:
         "scheduler": scheduler,
         "seed": seed,
     }
-    return ScheduleRequest(config=config, request_id=request_id, arrival=arrival)
+    return ScheduleRequest(
+        config=config, request_id=request_id, arrival=arrival, trace=trace
+    )
 
 
 def is_stats_request(payload: Any) -> bool:
@@ -339,6 +364,34 @@ def stats_request(request_id: Optional[str] = None) -> Dict[str, Any]:
 
 def stats_request_id(payload: Any) -> Optional[str]:
     """The correlation id of a stats control request, if it carries one."""
+    return control_request_id(payload)
+
+
+def is_metrics_request(payload: Any) -> bool:
+    """True when ``payload`` is a ``{"type": "metrics"}`` control request.
+
+    Like :func:`is_stats_request`, checked by serving transports before
+    canonicalization — a metrics request never becomes a
+    :class:`ScheduleRequest`.
+    """
+    return isinstance(payload, Mapping) and payload.get("type") == METRICS_REQUEST_TYPE
+
+
+def metrics_request(request_id: Optional[str] = None) -> Dict[str, Any]:
+    """Build one metrics control-request payload (optionally correlated)."""
+    payload: Dict[str, Any] = {"type": METRICS_REQUEST_TYPE}
+    if request_id is not None:
+        payload["id"] = request_id
+    return payload
+
+
+def is_control_request(payload: Any) -> bool:
+    """True for any control request (stats or metrics)."""
+    return is_stats_request(payload) or is_metrics_request(payload)
+
+
+def control_request_id(payload: Any) -> Optional[str]:
+    """The correlation id of a control request, if it carries one."""
     if not isinstance(payload, Mapping):
         return None
     request_id = payload.get("id")

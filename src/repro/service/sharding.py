@@ -70,7 +70,14 @@ from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..exceptions import RequestValidationError, ServiceError
-from .schema import SCHEMA_VERSION, canonicalize_request, is_stats_request, stats_request
+from ..obs import MetricsRegistry, mint_trace_id
+from .schema import (
+    SCHEMA_VERSION,
+    canonicalize_request,
+    is_control_request,
+    metrics_request,
+    stats_request,
+)
 from .server import response_line
 
 __all__ = [
@@ -106,10 +113,10 @@ def shard_for_payload(payload: Any, n_shards: int) -> int:
 
     Canonicalizing *before* hashing is what collapses semantically-equal
     spellings onto one shard (and one shard-local cache entry).  Payloads
-    that fail validation — and stats control requests, which carry no
-    canonical configuration — deterministically route to shard 0.
+    that fail validation — and stats/metrics control requests, which carry
+    no canonical configuration — deterministically route to shard 0.
     """
-    if is_stats_request(payload):
+    if is_control_request(payload):
         return 0
     try:
         request = canonicalize_request(payload)
@@ -216,6 +223,8 @@ class ClientCounters:
     degraded_responses: int = 0
     #: Times any shard's breaker transitioned closed → open.
     breaker_opens: int = 0
+    #: Times any shard's breaker transitioned (half-)open → closed.
+    breaker_closes: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         """The counters as a plain dict (stats payloads, tests)."""
@@ -261,16 +270,22 @@ class _Breaker:
             return was_closed
         return False
 
-    def record_success(self) -> None:
-        """A healthy round trip (or probe) closes the breaker."""
+    def record_success(self) -> bool:
+        """A healthy round trip (or probe) closes the breaker.
+
+        Returns True when this transition actually *closed* an open (or
+        half-open) breaker, so callers can count close transitions.
+        """
+        was_open = self.opened_at is not None
         self.failures = 0
         self.opened_at = None
+        return was_open
 
 
 class _Pending:
     """One in-flight request: its future, raw line and retry bookkeeping."""
 
-    __slots__ = ("future", "line", "attempts", "timer", "timed_out", "is_stats")
+    __slots__ = ("future", "line", "attempts", "timer", "timed_out", "is_stats", "sent_at")
 
     def __init__(
         self, future: "asyncio.Future[str]", line: str, is_stats: bool = False
@@ -281,6 +296,8 @@ class _Pending:
         self.timer: Optional[asyncio.TimerHandle] = None
         self.timed_out = False
         self.is_stats = is_stats
+        #: ``perf_counter`` of the (latest) send — client latency span start.
+        self.sent_at = 0.0
 
     def cancel_timer(self) -> None:
         """Disarm the request-timeout timer, if one is armed."""
@@ -408,6 +425,14 @@ class ShardedClient:
         self.retry_backoff = retry_backoff
         self.retry_backoff_max = retry_backoff_max
         self.counters = ClientCounters()
+        #: Client-side latency registry: ``client.request_ms`` plus one
+        #: ``client.shard{i}.request_ms`` histogram per shard, fed by the
+        #: read loop from each request's send→response round trip.
+        self.registry = MetricsRegistry()
+        self.registry.declare(
+            histograms=["client.request_ms"]
+            + [f"client.shard{index}.request_ms" for index in range(len(addresses))]
+        )
         self._closed = False
         self._retry_tasks: "set[asyncio.Task]" = set()
         self._local_service = None
@@ -507,13 +532,37 @@ class ShardedClient:
         resolves the future with a typed (or locally-computed degraded)
         response, so callers keep their one-response-per-request
         accounting.
+
+        A request that opts into tracing (``"trace": true``) but carries
+        no ``id`` gets a fresh trace id minted here — the id is metadata
+        (outside the canonical key), so minting never perturbs routing,
+        caching or coalescing.  The substring guard keeps the common
+        no-trace path free of a JSON parse.
         """
+        if '"trace"' in line:
+            line = self._mint_trace_id(line)
         shard = self._shards[shard_for_line(line, len(self._shards))]
         loop = asyncio.get_running_loop()
         future: "asyncio.Future[str]" = loop.create_future()
         entry = _Pending(future, line)
         await self._dispatch(shard, entry)
         return future
+
+    @staticmethod
+    def _mint_trace_id(line: str) -> str:
+        """Attach a minted ``id`` to a traced request line lacking one."""
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError:
+            return line
+        if (
+            isinstance(payload, dict)
+            and payload.get("trace") is True
+            and not isinstance(payload.get("id"), str)
+        ):
+            payload["id"] = f"trace-{mint_trace_id()}"
+            return json.dumps(payload, separators=(",", ":"))
+        return line
 
     async def stream(self, lines: Iterable[str]) -> List[str]:
         """Send a whole request stream; responses in submission order.
@@ -564,6 +613,43 @@ class ShardedClient:
                 payload["client"] = client_section
         return payloads
 
+    async def metrics(self, request_id: Optional[str] = None) -> List[Dict[str, Any]]:
+        """Query every shard's metrics request type; one payload per shard.
+
+        The observability twin of :meth:`stats`: each shard answers with
+        its full metric registry payload (see
+        :data:`repro.service.observability.METRIC_CATALOG`), and the
+        client augments it with a ``client`` section — recovery counters,
+        that shard's breaker state, and this client's view of the shard's
+        request latency (``client.shard{i}.request_ms`` snapshot).
+        Unreachable shards contribute their ``shard-unavailable`` response
+        instead, index-aligned, and — like stats probes — metrics probes
+        bypass an open breaker.
+        """
+        line = response_line(metrics_request(request_id))
+        loop = asyncio.get_running_loop()
+        futures = []
+        for shard in self._shards:
+            future: "asyncio.Future[str]" = loop.create_future()
+            entry = _Pending(future, line, is_stats=True)
+            await self._dispatch(shard, entry)
+            futures.append(future)
+        payloads = [json.loads(await future) for future in futures]
+        snapshot = self.registry.snapshot()
+        for shard, payload in zip(self._shards, payloads):
+            client_section = {
+                **self.counters.as_dict(),
+                "breaker_state": shard.breaker.state,
+                "request_ms": snapshot["histograms"].get(
+                    f"client.shard{shard.index}.request_ms"
+                ),
+            }
+            if isinstance(payload.get("metrics"), dict):
+                payload["metrics"]["client"] = client_section
+            else:
+                payload["client"] = client_section
+        return payloads
+
     # -- resilience machinery -----------------------------------------------
     async def _dispatch(self, shard: _ShardConnection, entry: _Pending) -> None:
         """Send one entry to its shard, degrading/failing per the policy."""
@@ -587,6 +673,7 @@ class ShardedClient:
                 self.request_timeout, self._on_timeout, shard, entry
             )
         try:
+            entry.sent_at = time.perf_counter()
             writer.write(entry.line.encode("utf-8") + b"\n")
             await writer.drain()
         except (ConnectionError, RuntimeError):
@@ -621,7 +708,8 @@ class ShardedClient:
             if shard.ever_connected:
                 self.counters.reconnects += 1
             shard.ever_connected = True
-            shard.breaker.record_success()
+            if shard.breaker.record_success():
+                self.counters.breaker_closes += 1
             shard.read_task = asyncio.create_task(self._read_loop(shard))
             return True
 
@@ -734,7 +822,14 @@ class ShardedClient:
                     continue  # protocol violation: response with no request
                 entry = shard.pending.popleft()
                 entry.cancel_timer()
-                shard.breaker.record_success()
+                if shard.breaker.record_success():
+                    self.counters.breaker_closes += 1
+                if not entry.is_stats and entry.sent_at:
+                    latency_ms = (time.perf_counter() - entry.sent_at) * 1000.0
+                    self.registry.observe("client.request_ms", latency_ms)
+                    self.registry.observe(
+                        f"client.shard{shard.index}.request_ms", latency_ms
+                    )
                 if not entry.future.done():
                     entry.future.set_result(raw.decode("utf-8").rstrip("\n"))
         except (ConnectionError, asyncio.IncompleteReadError, ValueError):

@@ -42,6 +42,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, TextIO
 
 from ..exceptions import ServiceError
+from ..obs import MetricsRegistry
 
 __all__ = ["RestartPolicy", "ShardState", "ShardSupervisor"]
 
@@ -152,6 +153,14 @@ class ShardSupervisor:
     err:
         Stream for the spawn/restart/give-up announcements (``None``
         silences them).
+    registry:
+        Optional :class:`~repro.obs.MetricsRegistry` receiving the
+        supervision gauges (``supervisor.restarts_total``,
+        ``supervisor.alive``, ``supervisor.gave_up``, per-shard
+        ``supervisor.shard{N}.restarts`` /
+        ``supervisor.shard{N}.backoff_s``).  The supervisor lives in the
+        parent process, so these gauges describe the fleet — shard-local
+        restart counts still reach scrapes via ``server.restarts``.
     """
 
     def __init__(
@@ -165,6 +174,7 @@ class ShardSupervisor:
         sleep: Callable[[float], None] = time.sleep,
         poll_interval: float = 0.05,
         err: Optional[TextIO] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         if n_shards < 1:
             raise ServiceError(f"n_shards must be >= 1, got {n_shards}")
@@ -176,8 +186,10 @@ class ShardSupervisor:
         self._sleep = sleep
         self.poll_interval = poll_interval
         self._err = err
+        self.registry = registry if registry is not None else MetricsRegistry()
         self.shards = [ShardState(index) for index in range(n_shards)]
         self.stopping = False
+        self._update_gauges()
 
     # -- lifecycle ----------------------------------------------------------
     def start(self) -> None:
@@ -263,9 +275,33 @@ class ShardSupervisor:
                 else:
                     remaining = state.restart_due - now
                     next_due = remaining if next_due is None else min(next_due, remaining)
+        self._update_gauges()
         if not any_open:
             return None
         return next_due if next_due is not None else math.inf
+
+    def _update_gauges(self) -> None:
+        """Refresh the supervision gauges from the current slot states."""
+        now = self._clock()
+        registry = self.registry
+        registry.set_gauge("supervisor.restarts_total", self.total_restarts)
+        registry.set_gauge(
+            "supervisor.alive",
+            sum(
+                1
+                for state in self.shards
+                if state.process is not None and state.process.poll() is None
+            ),
+        )
+        registry.set_gauge(
+            "supervisor.gave_up", sum(1 for state in self.shards if state.gave_up)
+        )
+        for state in self.shards:
+            registry.set_gauge(f"supervisor.shard{state.index}.restarts", state.restarts)
+            backoff = 0.0
+            if state.restart_due is not None:
+                backoff = max(0.0, state.restart_due - now)
+            registry.set_gauge(f"supervisor.shard{state.index}.backoff_s", backoff)
 
     def run(self) -> int:
         """Supervise until every child has exited (post-stop) or given up.

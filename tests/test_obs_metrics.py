@@ -1,0 +1,209 @@
+"""Tests for the streaming-histogram / metrics-registry layer.
+
+Pins the three properties the serving stack leans on:
+
+* **determinism** — two interpreters with different ``PYTHONHASHSEED``
+  values fed the same observations emit byte-identical snapshot JSON
+  (bucket boundaries come from repeated IEEE multiplication, never
+  ``pow``/``log``, and every snapshot section is sorted);
+* **merge associativity** — merging shard histograms is bucket-wise
+  integer addition, so grouping cannot change any count, bound, or
+  quantile (the float ``sum`` field alone is IEEE-addition ordered and
+  only required to be close);
+* **snapshot atomicity** — a registry snapshot taken while worker
+  threads mutate concurrently is a consistent point-in-time view, so
+  ordered increments (received before responded) can never appear
+  reversed in a scrape.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import subprocess
+import sys
+import threading
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs import DEFAULT_GROWTH, MetricsRegistry, StreamingHistogram
+
+SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+
+#: Observations spanning the interesting cases: zero bucket, sub-1.0
+#: values (negative bucket indices), exact boundaries, and large values.
+_PROBE_VALUES = [
+    0.0,
+    -1.5,
+    1e-9,
+    0.07,
+    0.5,
+    1.0,
+    1.1,
+    1.1000000000000001,
+    3.14159,
+    42.0,
+    999.5,
+    1e6,
+]
+
+_SNAPSHOT_SCRIPT = """
+import json, sys
+from repro.obs import StreamingHistogram
+h = StreamingHistogram()
+for v in json.loads(sys.argv[1]):
+    h.observe(v)
+sys.stdout.write(json.dumps(h.snapshot(), sort_keys=True))
+"""
+
+
+def _snapshot_via_subprocess(hash_seed: str) -> str:
+    env = dict(os.environ)
+    env["PYTHONHASHSEED"] = hash_seed
+    env["PYTHONPATH"] = SRC
+    result = subprocess.run(
+        [sys.executable, "-c", _SNAPSHOT_SCRIPT, json.dumps(_PROBE_VALUES)],
+        capture_output=True,
+        text=True,
+        env=env,
+        check=True,
+    )
+    return result.stdout
+
+
+class TestHistogramDeterminism:
+    def test_snapshots_byte_identical_across_hash_seeds(self):
+        snapshots = [_snapshot_via_subprocess(seed) for seed in ("0", "1", "424242")]
+        assert snapshots[0] == snapshots[1] == snapshots[2]
+        # And the in-process histogram agrees with the subprocesses.
+        local = StreamingHistogram()
+        local.observe_many(_PROBE_VALUES)
+        assert json.dumps(local.snapshot(), sort_keys=True) == snapshots[0]
+
+    def test_bucket_boundaries_from_repeated_multiplication(self):
+        histogram = StreamingHistogram()
+        bound = 1.0
+        for index in range(1, 50):
+            bound *= DEFAULT_GROWTH
+            assert histogram._bounds.bound(index) == bound
+
+    def test_quantiles_clamped_to_observed_range(self):
+        histogram = StreamingHistogram()
+        histogram.observe_many([3.0, 5.0, 7.0])
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert 3.0 <= histogram.quantile(q) <= 7.0
+
+    def test_zero_and_negative_values_land_in_zero_bucket(self):
+        histogram = StreamingHistogram()
+        histogram.observe_many([0.0, -2.0, 4.0])
+        assert histogram.zero_count == 2
+        assert histogram.quantile(0.5) == 0.0
+
+    def test_empty_histogram_quantile_is_zero(self):
+        assert StreamingHistogram().quantile(0.99) == 0.0
+
+    def test_growth_must_exceed_one(self):
+        with pytest.raises(ValueError):
+            StreamingHistogram(growth=1.0)
+
+    def test_merge_rejects_mismatched_growth(self):
+        with pytest.raises(ValueError):
+            StreamingHistogram(growth=1.1).merge(StreamingHistogram(growth=1.2))
+
+
+# -- merge associativity -----------------------------------------------------
+_values = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+    max_size=40,
+)
+
+
+def _filled(values) -> StreamingHistogram:
+    histogram = StreamingHistogram()
+    histogram.observe_many(values)
+    return histogram
+
+
+def _comparable(snapshot):
+    """Snapshot minus the float ``sum`` (IEEE addition is order-sensitive)."""
+    return {key: value for key, value in snapshot.items() if key != "sum"}
+
+
+class TestMergeAssociativity:
+    @settings(max_examples=60, deadline=None)
+    @given(_values, _values, _values)
+    def test_merge_is_associative(self, a, b, c):
+        left = _filled(a).merge(_filled(b)).merge(_filled(c))
+        right = _filled(a).merge(_filled(b).merge(_filled(c)))
+        assert _comparable(left.snapshot()) == _comparable(right.snapshot())
+        assert math.isclose(
+            left.snapshot()["sum"], right.snapshot()["sum"], rel_tol=1e-9, abs_tol=1e-9
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(_values, _values)
+    def test_merge_equals_observing_concatenation(self, a, b):
+        merged = _filled(a).merge(_filled(b))
+        direct = _filled(list(a) + list(b))
+        assert _comparable(merged.snapshot()) == _comparable(direct.snapshot())
+
+
+# -- registry ----------------------------------------------------------------
+class TestRegistry:
+    def test_declare_lists_catalog_before_traffic(self):
+        registry = MetricsRegistry()
+        registry.declare(counters=["a.hits"], gauges=["a.depth"], histograms=["a.ms"])
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"a.hits": 0}
+        assert snapshot["gauges"] == {"a.depth": 0}
+        assert snapshot["histograms"]["a.ms"]["count"] == 0
+
+    def test_snapshot_sections_sorted(self):
+        registry = MetricsRegistry()
+        for name in ("z.last", "a.first", "m.mid"):
+            registry.inc(name)
+        assert list(registry.snapshot()["counters"]) == ["a.first", "m.mid", "z.last"]
+
+    def test_snapshot_atomic_under_concurrent_mutation(self):
+        """Ordered increments never appear reversed in any scrape.
+
+        Each worker increments ``received`` strictly before ``responded``;
+        because every mutation and snapshot runs under the registry lock,
+        no snapshot may ever show ``responded > received``.
+        """
+        registry = MetricsRegistry()
+        stop = threading.Event()
+        violations = []
+
+        def worker():
+            while not stop.is_set():
+                registry.inc("service.received")
+                registry.observe("service.request_ms", 1.25)
+                registry.inc("service.responded")
+
+        def scraper():
+            while not stop.is_set():
+                snapshot = registry.snapshot()
+                received = snapshot["counters"].get("service.received", 0)
+                responded = snapshot["counters"].get("service.responded", 0)
+                if responded > received:
+                    violations.append((received, responded))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        threads += [threading.Thread(target=scraper) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        stop_timer = threading.Timer(0.5, stop.set)
+        stop_timer.start()
+        stop_timer.join()
+        for thread in threads:
+            thread.join()
+        assert violations == []
+        final = registry.snapshot()
+        assert final["counters"]["service.received"] == final["counters"]["service.responded"]
+        assert final["histograms"]["service.request_ms"]["count"] == final["counters"][
+            "service.received"
+        ]

@@ -62,6 +62,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 
 from loadgen import generate_lines  # noqa: E402  (tools/ path bootstrap)
 
+from repro._hashing import canonical_json  # noqa: E402
 from repro.service.cache import LRUResultCache  # noqa: E402
 from repro.service.dispatcher import ScheduleService  # noqa: E402
 from repro.service.faults import FaultSchedule  # noqa: E402
@@ -242,6 +243,62 @@ def _free_base_port(n_shards: int) -> int:
     raise RuntimeError("could not find a free consecutive port range")
 
 
+def summarize_telemetry(
+    payloads: List[Dict[str, Any]],
+) -> "tuple[Dict[str, Any], List[str]]":
+    """Per-shard server-side telemetry from ``{"type": "metrics"}`` payloads.
+
+    Returns ``(summary, problems)``: one row per answering shard with the
+    server-side latency quantiles, batch-assembly wait, cache hit rate,
+    shed/slow counts and restart gauge the audits assert on, plus one
+    problem string per shard whose metrics endpoint did not answer.
+    """
+    summary: Dict[str, Any] = {}
+    problems: List[str] = []
+    for index, payload in enumerate(payloads):
+        metrics = payload.get("metrics")
+        if not isinstance(metrics, dict):
+            problems.append(f"shard {index}: metrics endpoint unavailable")
+            continue
+        counters = metrics["counters"]
+        histograms = metrics["histograms"]
+        hits = counters["cache.hits"]
+        misses = counters["cache.misses"]
+        lookups = hits + misses
+        summary[str(index)] = {
+            "responded": counters["service.responded"],
+            "p50_ms": histograms["service.request_ms"]["p50"],
+            "p99_ms": histograms["service.request_ms"]["p99"],
+            "batch_wait_p95_ms": histograms["service.batch_assembly_ms"]["p95"],
+            "cache_hit_rate": round(hits / lookups, 4) if lookups else None,
+            "shed": (
+                counters["service.shed_queue_full"] + counters["service.shed_cost"]
+            ),
+            "slow": counters["service.slow_requests"],
+            "restarts": metrics["gauges"]["server.restarts"],
+        }
+    return summary, problems
+
+
+def format_telemetry_table(summary: Dict[str, Any]) -> List[str]:
+    """Render a :func:`summarize_telemetry` summary as aligned table lines."""
+    header = (
+        f"{'shard':>5} {'responded':>9} {'p50ms':>8} {'p99ms':>8} "
+        f"{'bwait95':>8} {'hit%':>6} {'shed':>6} {'slow':>6} {'restarts':>8}"
+    )
+    lines = [header, "-" * len(header)]
+    for shard, row in sorted(summary.items(), key=lambda item: int(item[0])):
+        hit_rate = row["cache_hit_rate"]
+        hit_text = f"{100.0 * hit_rate:5.1f}" if hit_rate is not None else "    -"
+        lines.append(
+            f"{shard:>5} {row['responded']:>9} {row['p50_ms']:>8.2f} "
+            f"{row['p99_ms']:>8.2f} {row['batch_wait_p95_ms']:>8.2f} "
+            f"{hit_text:>6} {row['shed']:>6} {row['slow']:>6} "
+            f"{row['restarts']:>8.0f}"
+        )
+    return lines
+
+
 def serial_baseline(lines: List[str]) -> Dict[str, str]:
     """The byte-identity oracle: every request served serially, in-process.
 
@@ -352,6 +409,67 @@ async def drive(
                     pending_shards.discard(shard)
             if pending_shards:
                 await asyncio.sleep(0.2)
+
+        # Observability audit inputs.  Settle the breakers first (a
+        # drop/stall-only schedule never enters the recovery loop, whose
+        # stats probes double as half-open probes), then scrape every
+        # shard's metrics endpoint and fire the sampled trace requests.
+        # Fresh seeds + a heavy task count keep every sample an uncached
+        # simulation whose server-side spans dominate the round trip.
+        settle_deadline = time.monotonic() + 5.0
+        while time.monotonic() < settle_deadline:
+            if all(
+                shard.breaker.state == "closed"
+                for shard in client._shards  # noqa: SLF001 - chaos harness
+            ):
+                break
+            await client.stats()
+            await asyncio.sleep(0.1)
+        telemetry = await client.metrics()
+        trace_samples: List[Dict[str, Any]] = []
+        for sample in range(args.trace_samples):
+            # Coverage compares server-side span time against the client's
+            # observed round trip; a loaded machine can delay the client
+            # event loop by milliseconds, so each sample gets a few
+            # attempts and keeps its best-covered one.  Every attempt uses
+            # a *fresh* seed — a repeated seed would hit the result cache
+            # and collapse the trace to the (tiny) hit-path spans.
+            best: Optional[Dict[str, Any]] = None
+            for attempt in range(3):
+                payload = {
+                    "platform": {"comm": [0.2, 0.5, 1.0], "comp": [1.0, 2.0, 4.0]},
+                    "tasks": {
+                        "process": "all-at-zero",
+                        "n": args.trace_sample_tasks,
+                    },
+                    "scheduler": "LS",
+                    "seed": 9_000_000 + 10 * sample + attempt,
+                    "id": f"trace-sample-{sample:03d}",
+                    "trace": True,
+                }
+                t0 = time.perf_counter()
+                response_text = await (await client.submit(canonical_json(payload)))
+                client_ms = (time.perf_counter() - t0) * 1000.0
+                response = json.loads(response_text)
+                trace = response.get("trace")
+                record = {
+                    "id": payload["id"],
+                    "status": response.get("status"),
+                    "client_ms": round(client_ms, 3),
+                    "trace": trace,
+                    "attempts": attempt + 1,
+                }
+                coverage = (
+                    trace["total_ms"] / client_ms
+                    if isinstance(trace, dict) and client_ms > 0
+                    else 0.0
+                )
+                if best is None or coverage > best["_coverage"]:
+                    best = {**record, "_coverage": coverage}
+                if response.get("status") == "ok" and coverage >= args.min_trace_coverage:
+                    break
+            best.pop("_coverage")
+            trace_samples.append(best)
     finally:
         # A SIGSTOPed child ignores SIGTERM until resumed — if the stream
         # drained before a stall's resume timer fired, resume it here so
@@ -367,6 +485,8 @@ async def drive(
         "killed_shards": sorted(killed_shards),
         "unrecovered_shards": sorted(pending_shards),
         "recovery": {str(k): v for k, v in sorted(recovery.items())},
+        "telemetry": telemetry,
+        "trace_samples": trace_samples,
         "client": client.client_stats(),
     }
 
@@ -422,6 +542,45 @@ def audit(
             "again by end of run"
         )
 
+    # Observability audit: every shard's metrics endpoint must answer with
+    # the server-side telemetry the report surfaces, and every sampled
+    # trace must carry spans that tile (sum to) the server-side total and
+    # cover at least --min-trace-coverage of the client-observed latency.
+    telemetry, telemetry_problems = summarize_telemetry(outcome["telemetry"])
+    failures.extend(telemetry_problems)
+    trace_audit: List[Dict[str, Any]] = []
+    for sample in outcome["trace_samples"]:
+        trace = sample["trace"]
+        if sample["status"] != "ok" or not isinstance(trace, dict):
+            failures.append(
+                f"{sample['id']}: no trace attached "
+                f"(status {sample['status']})"
+            )
+            continue
+        span_sum = sum(span["ms"] for span in trace["spans"])
+        if abs(span_sum - trace["total_ms"]) > 1e-6:
+            failures.append(
+                f"{sample['id']}: spans sum to {span_sum:.6f}ms but "
+                f"total_ms is {trace['total_ms']:.6f}ms (overlap/gap)"
+            )
+        coverage = (
+            trace["total_ms"] / sample["client_ms"] if sample["client_ms"] else 0.0
+        )
+        trace_audit.append(
+            {
+                "id": sample["id"],
+                "client_ms": sample["client_ms"],
+                "total_ms": round(trace["total_ms"], 3),
+                "spans": [span["name"] for span in trace["spans"]],
+                "coverage": round(coverage, 4),
+            }
+        )
+        if coverage < args.min_trace_coverage:
+            failures.append(
+                f"{sample['id']}: trace covers {coverage:.1%} of the "
+                f"client-observed latency (< {args.min_trace_coverage:.0%})"
+            )
+
     # No-hot-loop audit: every announced restart delay must respect the
     # policy's jittered lower bound (the first attempt's is the smallest).
     min_delay = args.restart_base_delay * 0.9
@@ -448,6 +607,8 @@ def audit(
         "recovery": outcome["recovery"],
         "restart_delays": tree.restart_delays,
         "restart_delays_monotone": increasing,
+        "telemetry": telemetry,
+        "trace_samples": trace_audit,
         "client": outcome["client"],
         "failures": failures,
     }
@@ -516,6 +677,20 @@ def main(argv=None) -> int:
         "is absorbed by retry + local execution)",
     )
     parser.add_argument(
+        "--trace-samples", type=int, default=5,
+        help="sampled trace requests fired after recovery (0 disables)",
+    )
+    parser.add_argument(
+        "--trace-sample-tasks", type=int, default=800,
+        help="tasks per sampled trace request (heavy enough that the "
+        "simulate span dominates the round trip)",
+    )
+    parser.add_argument(
+        "--min-trace-coverage", type=float, default=0.9,
+        help="minimum fraction of the client-observed latency the trace's "
+        "server-side spans must cover",
+    )
+    parser.add_argument(
         "--report", metavar="FILE", default=None,
         help="write the JSON chaos report to FILE",
     )
@@ -539,7 +714,8 @@ def main(argv=None) -> int:
     print(f"chaos: schedule {schedule.to_specs()}", file=sys.stderr)
 
     baseline = serial_baseline(lines)
-    tree = SupervisorTree(args, _free_base_port(args.shards))
+    # --trace lets the sampled trace requests opt in to span timings.
+    tree = SupervisorTree(args, _free_base_port(args.shards), extra_flags=["--trace"])
     try:
         tree.wait_ready()
         outcome = asyncio.run(drive(args, tree, lines, schedule))
@@ -574,6 +750,15 @@ def main(argv=None) -> int:
         f"client {report['client']}",
         file=sys.stderr,
     )
+    for line in format_telemetry_table(report["telemetry"]):
+        print(f"chaos: {line}", file=sys.stderr)
+    for sample in report["trace_samples"]:
+        print(
+            f"chaos: trace {sample['id']}: {sample['total_ms']:.2f}ms "
+            f"server-side over {sample['client_ms']:.2f}ms observed "
+            f"({sample['coverage']:.1%}; spans {'>'.join(sample['spans'])})",
+            file=sys.stderr,
+        )
     for failure in report["failures"]:
         print(f"chaos:   FAIL {failure}", file=sys.stderr)
     return 0 if not report["failures"] else 1

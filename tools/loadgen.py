@@ -61,6 +61,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 import numpy as np  # noqa: E402  (path bootstrap above)
 
 from repro._hashing import canonical_json  # noqa: E402
+from repro.obs import StreamingHistogram  # noqa: E402
 from repro.service.async_server import parse_address  # noqa: E402
 from repro.service.sharding import ShardedClient  # noqa: E402
 from repro.workloads.release import inhomogeneous_poisson_releases  # noqa: E402
@@ -201,14 +202,6 @@ async def _drive(
     return streams, latencies, elapsed
 
 
-def _percentile(sorted_values: List[float], q: float) -> float:
-    """The ``q``-quantile of an already-sorted sample (nearest-rank)."""
-    if not sorted_values:
-        return 0.0
-    rank = min(len(sorted_values) - 1, max(0, math.ceil(q * len(sorted_values)) - 1))
-    return sorted_values[rank]
-
-
 def run_connected(args: argparse.Namespace, out, err) -> int:
     """Drive the generated stream against a persistent server; returns exit code.
 
@@ -248,7 +241,12 @@ def run_connected(args: argparse.Namespace, out, err) -> int:
     else:
         divergent = []
 
-    latencies.sort()
+    # Quantiles via the service's own streaming histogram (repro.obs), so
+    # loadgen's client-side p50/p99 and the server's service.request_ms
+    # quantiles are computed by the same bucketed estimator.
+    histogram = StreamingHistogram()
+    for latency in latencies:
+        histogram.observe(latency * 1e3)
     stats = {
         "requests": len(lines),
         "duration_s": args.duration,
@@ -261,8 +259,9 @@ def run_connected(args: argparse.Namespace, out, err) -> int:
         "statuses": dict(statuses),
         "elapsed_s": round(elapsed, 6),
         "rps": round(received / elapsed, 3) if elapsed > 0 else 0.0,
-        "p50_ms": round(_percentile(latencies, 0.50) * 1e3, 3),
-        "p99_ms": round(_percentile(latencies, 0.99) * 1e3, 3),
+        "p50_ms": round(histogram.quantile(0.50), 3),
+        "p99_ms": round(histogram.quantile(0.99), 3),
+        "latency_histogram": histogram.snapshot(),
     }
 
     for response_text in streams[0]:

@@ -38,6 +38,10 @@ The suite covers the layers a serving regression could hide in:
   the first full stream served after a restart, timed warm (journal
   replayed into the cache) vs. cold (every request re-simulates); records
   the ``speedup_vs_cold`` recovery delta.
+* ``service_observability_overhead`` — the cached (hot-path) stream served
+  with tracing off vs. on (every request opting in): records both RPS
+  figures and their ``rps_regression``, the number the CI smoke gates at
+  5% to keep telemetry effectively free.
 
 Run with::
 
@@ -48,6 +52,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import contextlib
 import io
 import json
 import math
@@ -67,6 +72,7 @@ from repro.schedulers.base import create_scheduler  # noqa: E402
 from repro.service.async_server import AsyncScheduleServer  # noqa: E402
 from repro.service.cache import LRUResultCache  # noqa: E402
 from repro.service.dispatcher import ScheduleService  # noqa: E402
+from repro.service.observability import Observability  # noqa: E402
 from repro.service.persistence import ShardPersistence  # noqa: E402
 from repro.service.schema import canonicalize_request  # noqa: E402
 from repro.service.server import serve_lines  # noqa: E402
@@ -408,6 +414,133 @@ def bench_service_warm_restart(runs: int, n_requests: int) -> Dict[str, Any]:
     }
 
 
+def bench_service_observability_overhead(runs: int, n_requests: int) -> Dict[str, Any]:
+    """Tracing off vs. on across the cached hot path: telemetry's price.
+
+    The warm-cached stream is the most overhead-sensitive path (zero
+    simulations, so per-request bookkeeping is the whole cost).  The
+    headline variant is the *deployment* configuration: service started
+    with ``--trace`` and every 16th request opting in with
+    ``"trace": true`` — sampled tracing, the way traces are meant to be
+    collected in steady state.  ``rps_regression`` (headline vs. the
+    tracing-off baseline) is the value the CI smoke asserts stays under
+    5%.  The worst case — **every** request opting in, so span capture
+    and trace serialization on each response — is recorded alongside as
+    ``traced_all_*``; it prices one traced response (~tens of µs), not a
+    realistic serving mix.  Each variant keeps one warm service alive
+    for the whole measurement; trials time short interleaved regions and
+    the regression is the median of per-trial variant/baseline ratios,
+    which cancels the machine-load drift that would otherwise swallow a
+    few-percent signal.
+    """
+    lines = synthetic_request_lines(n_requests)
+    sample_every = 16
+
+    def opted_in(stream: List[str], every: int) -> List[str]:
+        out = []
+        for index, line in enumerate(stream):
+            if index % every == 0:
+                payload = json.loads(line)
+                payload["trace"] = True
+                line = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+            out.append(line)
+        return out
+
+    passes = 2
+
+    def make_runner(
+        stack: contextlib.ExitStack, stream: List[str], trace: bool
+    ) -> Callable[[], None]:
+        observability = Observability(trace=trace)
+        cache = LRUResultCache(
+            max_entries=4 * n_requests, registry=observability.registry
+        )
+        service = stack.enter_context(
+            ScheduleService(
+                workers=1,
+                batch_size=16,
+                max_queue=1024,
+                cache=cache,
+                observability=observability,
+            )
+        )
+
+        def run() -> None:
+            for _ in range(passes):
+                serve_lines(iter(stream), service, io.StringIO())
+
+        run()  # warm the variant's cache outside the timed region
+        return run
+
+    # Drift-robust timing: the services stay up across the whole
+    # measurement (no worker spawn inside timed regions), each trial
+    # times the three variants back-to-back over a short region, and
+    # only the *ratios* variant/baseline are kept; the regression is the
+    # median ratio across trials.  Machine-load drift (CPU steal on
+    # shared runners) scales whole trials and cancels in their ratios,
+    # where a min-of-absolute-times estimator would swallow the
+    # few-percent signal whole.
+    trials = max(10 * runs, 40)
+    samples: Dict[str, List[float]] = {}
+    with contextlib.ExitStack() as stack:
+        runners = {
+            "baseline": make_runner(stack, lines, trace=False),
+            "sampled": make_runner(stack, opted_in(lines, sample_every), trace=True),
+            "traced_all": make_runner(stack, opted_in(lines, 1), trace=True),
+        }
+        samples = {name: [] for name in runners}
+        for _ in range(trials):
+            for name, run in runners.items():
+                start = time.perf_counter()
+                run()
+                samples[name].append(time.perf_counter() - start)
+
+    def stats(name: str) -> Dict[str, float]:
+        values = samples[name]
+        return {
+            "mean_s": sum(values) / len(values),
+            "min_s": min(values),
+            "max_s": max(values),
+        }
+
+    def median_ratio(name: str) -> float:
+        ratios = sorted(
+            variant / base
+            for variant, base in zip(samples[name], samples["baseline"])
+        )
+        middle = len(ratios) // 2
+        if len(ratios) % 2:
+            return ratios[middle]
+        return (ratios[middle - 1] + ratios[middle]) / 2.0
+
+    baseline = stats("baseline")
+    sampled = stats("sampled")
+    traced_all = stats("traced_all")
+    responses_per_run = passes * n_requests
+    baseline_rps = responses_per_run / baseline["min_s"]
+    sampled_ratio = median_ratio("sampled")
+    traced_all_ratio = median_ratio("traced_all")
+    return {
+        **sampled,
+        "baseline_mean_s": baseline["mean_s"],
+        "baseline_min_s": baseline["min_s"],
+        "baseline_rps": baseline_rps,
+        "rps": baseline_rps / sampled_ratio,
+        "rps_regression": 1.0 - 1.0 / sampled_ratio,
+        "traced_all_min_s": traced_all["min_s"],
+        "traced_all_rps": baseline_rps / traced_all_ratio,
+        "traced_all_rps_regression": 1.0 - 1.0 / traced_all_ratio,
+        "runs": trials,
+        "params": {
+            "n_requests": n_requests,
+            "passes": passes,
+            "cache": "warm",
+            "trace": f"1-in-{sample_every} sampled",
+            "timing": "interleaved median-ratio",
+        },
+    }
+
+
 def run_suite(runs: int, n_requests: int) -> Dict[str, Dict[str, Any]]:
     """Execute every benchmark; returns the ``BENCH_service.json`` payload."""
     return {
@@ -420,6 +553,9 @@ def run_suite(runs: int, n_requests: int) -> Dict[str, Dict[str, Any]]:
         "service_persistent_rps": bench_service_persistent_rps(runs, n_requests),
         "service_chaos_rps": bench_service_chaos_rps(runs, n_requests),
         "service_warm_restart": bench_service_warm_restart(runs, n_requests),
+        "service_observability_overhead": bench_service_observability_overhead(
+            runs, n_requests
+        ),
     }
 
 

@@ -63,7 +63,9 @@ from chaos import (  # noqa: E402  (tools/ path bootstrap)
     DEGRADED_TYPES,
     SupervisorTree,
     _free_base_port,
+    format_telemetry_table,
     serial_baseline,
+    summarize_telemetry,
 )
 from loadgen import generate_lines  # noqa: E402
 
@@ -276,6 +278,12 @@ async def drive(
                 "journal_entries": cache.get("journal_entries"),
                 "snapshot_age_s": cache.get("snapshot_age_s"),
             }
+
+        # Final server-side telemetry scrape: the audit summarizes each
+        # shard's own latency quantiles, batch wait, hit rate and shed
+        # counts — the soak's verdict table comes from the servers, not
+        # from client-side observation.
+        telemetry = await client.metrics()
     finally:
         stop_pressure.set()
         if pressure_task is not None and not pressure_task.done():
@@ -298,6 +306,7 @@ async def drive(
         "unrecovered_shards": sorted(pending_shards),
         "recovery": {str(k): v for k, v in sorted(recovery.items())},
         "warm": {str(k): v for k, v in sorted(warm.items())},
+        "telemetry": telemetry,
         "client": client.client_stats(),
     }
 
@@ -398,6 +407,12 @@ def audit(
             "the post-restart replay (journal replay did not serve)"
         )
 
+    # Observability: every shard's metrics endpoint must answer, and the
+    # per-shard summary (server-side quantiles, batch wait, hit rate,
+    # shed/restart counts) rides in the report + the final table.
+    telemetry, telemetry_problems = summarize_telemetry(outcome["telemetry"])
+    failures.extend(telemetry_problems)
+
     return {
         "duration_s": args.duration,
         "elapsed_s": round(outcome["elapsed_s"], 3),
@@ -422,6 +437,7 @@ def audit(
         "recovery": outcome["recovery"],
         "warm": outcome["warm"],
         "warm_hits_total": warm_hits_total,
+        "telemetry": telemetry,
         "client": outcome["client"],
         "failures": failures,
     }
@@ -615,6 +631,8 @@ def main(argv=None) -> int:
         f"warm hits {report['warm']}, client {report['client']}",
         file=sys.stderr,
     )
+    for line in format_telemetry_table(report["telemetry"]):
+        print(f"soak: {line}", file=sys.stderr)
     for failure in report["failures"]:
         print(f"soak:   FAIL {failure}", file=sys.stderr)
     return 0 if not report["failures"] else 1
